@@ -1,0 +1,73 @@
+"""ABL-B — selection-bias ablation (paper §4.4).
+
+The paper prescribes negative B (−0.1..−0.3) for small DAGs (thorough
+search) and positive B (0..0.1) for large DAGs (fewer selections, faster
+iterations).  This ablation sweeps B on a small and a large workload and
+records the selection volume / quality / cost trade-off.
+"""
+
+from repro.analysis import markdown_table
+from repro.core import SEConfig, run_se
+from repro.workloads import WorkloadSpec, build_workload
+
+BIASES = (-0.3, -0.2, -0.1, 0.0, 0.05, 0.1)
+ITERATIONS = 60
+
+
+def run_bias_sweep():
+    results = {}
+    for label, spec in (
+        ("small", WorkloadSpec(num_tasks=20, num_machines=5, seed=3)),
+        ("large", WorkloadSpec(num_tasks=100, num_machines=20, seed=3)),
+    ):
+        w = build_workload(spec)
+        rows = []
+        for bias in BIASES:
+            res = run_se(
+                w,
+                SEConfig(
+                    seed=9, max_iterations=ITERATIONS, selection_bias=bias
+                ),
+            )
+            rows.append(
+                {
+                    "bias": bias,
+                    "best": res.best_makespan,
+                    "selected_total": sum(res.trace.selected_counts()),
+                    "evaluations": res.evaluations,
+                }
+            )
+        results[label] = rows
+    return results
+
+
+def test_bias_ablation(benchmark, write_output):
+    results = benchmark.pedantic(run_bias_sweep, rounds=1, iterations=1)
+
+    sections = []
+    for label, rows in results.items():
+        table = markdown_table(
+            ["B", "best makespan", "total selected", "evaluations"],
+            [
+                (r["bias"], f"{r['best']:.1f}", r["selected_total"], r["evaluations"])
+                for r in rows
+            ],
+        )
+        sections.append(f"## {label} workload\n\n{table}")
+    text = (
+        "ABL-B — selection bias sweep (paper §4.4)\n\n"
+        "paper: negative B = more selections/thorough search (small DAGs); "
+        "positive B = fewer selections/faster iterations (large DAGs)\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    write_output("ablation_bias", text)
+
+    # unconditional mechanics: selection volume decreases with B
+    for rows in results.values():
+        volumes = [r["selected_total"] for r in rows]
+        assert volumes[0] > volumes[-1], (
+            "most-negative bias must select more than most-positive"
+        )
+        evals = [r["evaluations"] for r in rows]
+        assert evals[0] > evals[-1]

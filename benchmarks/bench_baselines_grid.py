@@ -1,0 +1,85 @@
+"""BASE — extension benchmark: SE and GA vs the classic deterministic
+heuristics across the workload classification grid.
+
+Not a figure from the paper (its evaluation compares SE and GA only);
+this grid positions both against HEFT / Min-min / Max-min / OLB / random
+search so downstream users can see where the metaheuristics pay off.
+"""
+
+from collections import defaultdict
+
+from repro.analysis import geometric_mean, markdown_table
+from repro.baselines import (
+    GAConfig,
+    heft,
+    max_min,
+    min_min,
+    olb,
+    random_search,
+    run_ga,
+)
+from repro.core import SEConfig, run_se
+from repro.schedule.metrics import normalized_makespan
+from repro.workloads import WorkloadSuite
+
+SE_ITERS = 60
+GA_GENS = 80
+
+
+def run_grid():
+    suite = WorkloadSuite(
+        num_tasks=40,
+        num_machines=8,
+        connectivities=("low", "high"),
+        heterogeneities=("low", "high"),
+        ccrs=(0.1, 1.0),
+        replicates=1,
+        seed=77,
+    )
+    algorithms = {
+        "SE": lambda w: run_se(
+            w, SEConfig(seed=1, max_iterations=SE_ITERS)
+        ).best_makespan,
+        "GA": lambda w: run_ga(
+            w, GAConfig(seed=1, max_generations=GA_GENS, stall_generations=None)
+        ).best_makespan,
+        "HEFT": lambda w: heft(w).makespan,
+        "Min-min": lambda w: min_min(w).makespan,
+        "Max-min": lambda w: max_min(w).makespan,
+        "OLB": lambda w: olb(w).makespan,
+        "Random": lambda w: random_search(w, samples=500, seed=1).makespan,
+    }
+    rows = []
+    slr = defaultdict(list)
+    for cell in suite:
+        w = cell.build()
+        row = [w.classification.describe()]
+        for name, fn in algorithms.items():
+            n = normalized_makespan(w, fn(w))
+            slr[name].append(n)
+            row.append(f"{n:.2f}")
+        rows.append(row)
+    return list(algorithms), rows, slr
+
+
+def test_baseline_grid(benchmark, write_output):
+    names, rows, slr = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    league = sorted((geometric_mean(v), k) for k, v in slr.items())
+    text = (
+        "BASE — scheduler league across the classification grid\n"
+        "(normalized makespan; 1.0 = theoretical lower bound)\n\n"
+        + markdown_table(["workload"] + names, rows)
+        + "\n\ngeometric-mean league (lower = better):\n"
+        + "\n".join(f"  {name:8s} {score:.3f}" for score, name in league)
+        + "\n"
+    )
+    write_output("baselines_grid", text)
+
+    gm = {name: geometric_mean(v) for name, v in slr.items()}
+    # sanity floors: the metaheuristics and HEFT must beat blind sampling
+    # and availability-only OLB on aggregate
+    assert gm["SE"] < gm["Random"]
+    assert gm["SE"] < gm["OLB"]
+    assert gm["HEFT"] < gm["OLB"]
+    assert gm["GA"] < gm["Random"]

@@ -1,0 +1,88 @@
+"""EXT-CONT / EXT-HYBRID — extension benchmarks (beyond the paper).
+
+* Contention sensitivity: how much do SE / HEFT schedules degrade when
+  the contention-free network assumption is replaced by a one-NIC-per-
+  machine model?  High-CCR schedules should be the most sensitive.
+* Hybrid warm start: how much does seeding SE with HEFT help at a small
+  iteration budget compared to the paper's random initial solution?
+"""
+
+from repro.analysis import markdown_table
+from repro.baselines import heft
+from repro.core import SEConfig, run_se
+from repro.extensions.contention import contention_penalty
+from repro.extensions.hybrid import heft_seeded_se
+from repro.workloads import WorkloadSpec, build_workload
+
+
+def run_contention_study():
+    rows = []
+    for ccr in (0.1, 0.5, 1.0):
+        w = build_workload(
+            WorkloadSpec(num_tasks=50, num_machines=8, ccr=ccr, seed=13)
+        )
+        se = run_se(w, SEConfig(seed=2, max_iterations=60))
+        rows.append(
+            (
+                ccr,
+                contention_penalty(w, heft(w).string),
+                contention_penalty(w, se.best_string),
+            )
+        )
+    return rows
+
+
+def test_contention_sensitivity(benchmark, write_output):
+    rows = benchmark.pedantic(run_contention_study, rounds=1, iterations=1)
+    table = markdown_table(
+        ["CCR", "HEFT penalty", "SE penalty"],
+        [(c, f"{h:.1%}", f"{s:.1%}") for c, h, s in rows],
+    )
+    text = (
+        "EXT-CONT — makespan penalty under NIC contention\n\n"
+        f"{table}\n\n"
+        "expectation: penalties grow with CCR; 0% at CCR ~ 0\n"
+        f"matches: {rows[0][2] <= rows[-1][2] + 0.05}\n"
+    )
+    write_output("extension_contention", text)
+
+    # penalties are non-negative by construction
+    for _, h, s in rows:
+        assert h >= -1e-9 and s >= -1e-9
+    # low-CCR schedules are barely sensitive
+    assert rows[0][1] < 0.2 and rows[0][2] < 0.2
+
+
+def run_hybrid_study():
+    rows = []
+    for seed in (1, 2, 3):
+        w = build_workload(
+            WorkloadSpec(num_tasks=60, num_machines=10, seed=40 + seed)
+        )
+        base = heft(w).makespan
+        cold = run_se(w, SEConfig(seed=seed, max_iterations=30)).best_makespan
+        warm = heft_seeded_se(
+            w, SEConfig(seed=seed, max_iterations=30)
+        ).best_makespan
+        rows.append((40 + seed, base, cold, warm))
+    return rows
+
+
+def test_hybrid_warm_start(benchmark, write_output):
+    rows = benchmark.pedantic(run_hybrid_study, rounds=1, iterations=1)
+    table = markdown_table(
+        ["workload seed", "HEFT", "SE cold", "SE warm (HEFT-seeded)"],
+        [
+            (s, f"{b:.1f}", f"{c:.1f}", f"{w:.1f}")
+            for s, b, c, w in rows
+        ],
+    )
+    text = (
+        "EXT-HYBRID — HEFT-seeded SE vs cold-started SE (30 iterations)\n\n"
+        f"{table}\n\n"
+        "guarantee: warm <= HEFT always (engine keeps the seed as best)\n"
+    )
+    write_output("extension_hybrid", text)
+
+    for _, base, _, warm in rows:
+        assert warm <= base + 1e-9

@@ -1,0 +1,71 @@
+"""FIG3A / FIG3B — SE effectiveness (paper §5.1, Figures 3a and 3b).
+
+The paper monitors, on a large / high-connectivity workload, (a) the
+number of selected subtasks per iteration and (b) the current schedule
+length per iteration.  Expected shapes: the selected count starts large
+and decays to a small residual; the schedule length decreases.
+"""
+
+from repro.analysis import Series, line_plot
+from repro.core import SEConfig, run_se
+from repro.workloads import figure3_workload
+
+ITERATIONS = 300
+SEED = 11
+
+
+def run_fig3():
+    workload = figure3_workload(seed=SEED)
+    return workload, run_se(
+        workload, SEConfig(seed=4, max_iterations=ITERATIONS)
+    )
+
+
+def test_fig3a_selected_subtasks(benchmark, write_output):
+    workload, result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    trace = result.trace
+    sel = trace.selected_counts()
+
+    chart = line_plot(
+        [Series("selected subtasks", trace.iterations(), sel)],
+        title="Figure 3a — number of selected subtasks vs iteration",
+        x_label="iteration",
+        y_label="selected subtasks",
+    )
+    early = sum(sel[:10]) / 10
+    late = sum(sel[-10:]) / 10
+    verdict = (
+        f"paper: starts large, decays to a small residual\n"
+        f"measured: first={sel[0]} mean(first 10)={early:.1f} "
+        f"mean(last 10)={late:.1f} of k={workload.num_tasks}\n"
+        f"matches: {sel[0] >= workload.num_tasks // 4 and late < early / 2}\n"
+    )
+    write_output("fig3a_selected_subtasks", chart + "\n\n" + verdict)
+
+    # loose invariants only (strict verdict recorded above)
+    assert sel[0] >= workload.num_tasks // 4
+    assert late < early
+
+
+def test_fig3b_schedule_length(benchmark, write_output):
+    workload, result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    trace = result.trace
+    cur = trace.current_makespans()
+
+    chart = line_plot(
+        [Series("schedule length", trace.iterations(), cur)],
+        title="Figure 3b — current schedule length vs iteration",
+        x_label="iteration",
+        y_label="schedule length",
+    )
+    verdict = (
+        f"paper: schedule length of the current solution decreases\n"
+        f"measured: first={cur[0]:.1f} last={cur[-1]:.1f} "
+        f"best={result.best_makespan:.1f} "
+        f"improvement={cur[0] / cur[-1]:.2f}x\n"
+        f"matches: {cur[-1] < cur[0]}\n"
+    )
+    write_output("fig3b_schedule_length", chart + "\n\n" + verdict)
+
+    assert cur[-1] < cur[0]
+    assert result.best_makespan <= min(cur) + 1e-9

@@ -1,0 +1,85 @@
+"""MICRO — microbenchmarks of the hot paths.
+
+The schedule simulator dominates SE/GA run time (every allocation probe
+and every GA fitness call is one full evaluation), so its per-call cost
+is the library's key performance number.  These use pytest-benchmark's
+statistical timing (many rounds), unlike the one-shot figure benches.
+"""
+
+from repro.core.goodness import optimal_finish_times
+from repro.schedule.operations import random_valid_string
+from repro.schedule.simulator import Simulator
+from repro.schedule.valid_range import valid_insertion_range
+from repro.workloads import WorkloadSpec, build_workload, figure5_workload
+
+
+def paper_scale_workload():
+    return figure5_workload(seed=1)
+
+
+def test_micro_simulator_makespan_100x20(benchmark):
+    """One makespan evaluation at paper scale (100 tasks, 20 machines)."""
+    w = paper_scale_workload()
+    sim = Simulator(w)
+    s = random_valid_string(w.graph, w.num_machines, 7)
+    order, machines = s.order, s.machines
+
+    result = benchmark(sim.makespan, order, machines)
+    assert result > 0
+
+
+def test_micro_simulator_full_evaluate_100x20(benchmark):
+    """Full evaluation (start/finish arrays) at paper scale."""
+    w = paper_scale_workload()
+    sim = Simulator(w)
+    s = random_valid_string(w.graph, w.num_machines, 7)
+
+    result = benchmark(sim.evaluate, s)
+    assert result.makespan > 0
+
+
+def test_micro_simulator_small(benchmark):
+    """Evaluation cost on a small instance (20 tasks, 4 machines)."""
+    w = build_workload(WorkloadSpec(num_tasks=20, num_machines=4, seed=2))
+    sim = Simulator(w)
+    s = random_valid_string(w.graph, w.num_machines, 3)
+
+    result = benchmark(sim.makespan, s.order, s.machines)
+    assert result > 0
+
+
+def test_micro_valid_range(benchmark):
+    """Valid-range query cost at paper scale."""
+    w = paper_scale_workload()
+    s = random_valid_string(w.graph, w.num_machines, 7)
+
+    def all_ranges():
+        return [
+            valid_insertion_range(s, w.graph, t) for t in range(w.num_tasks)
+        ]
+
+    ranges = benchmark(all_ranges)
+    assert len(ranges) == w.num_tasks
+
+
+def test_micro_optimal_finish_times(benchmark):
+    """O-vector precomputation cost (runs once per SE run)."""
+    w = paper_scale_workload()
+    o = benchmark(optimal_finish_times, w)
+    assert len(o) == w.num_tasks
+
+
+def test_micro_string_copy(benchmark):
+    """String copy cost (SE keeps a copy of every new best)."""
+    w = paper_scale_workload()
+    s = random_valid_string(w.graph, w.num_machines, 7)
+    c = benchmark(s.copy)
+    assert c == s
+
+
+def test_micro_workload_build(benchmark):
+    """Workload generation cost at paper scale."""
+    w = benchmark(lambda: build_workload(
+        WorkloadSpec(num_tasks=100, num_machines=20, seed=5)
+    ))
+    assert w.num_tasks == 100

@@ -1,0 +1,87 @@
+"""SEC53 — the paper's aggregate conclusion as a computed table (§5.3/§6).
+
+"SE performed better than GA for workloads of certain characteristics
+ [high connectivity and/or high heterogeneity and/or high CCR] as it
+ generates better quality solution with less time.  For other workload
+ characteristics, the difference between the two algorithms was not
+ clear."
+
+This benchmark runs SE and the GA under a shared wall-clock budget on a
+connectivity × heterogeneity × CCR grid and prints SE's win/loss record
+conditioned on each axis value — the sentence above, as data.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.compare import COMPARISON_SE_BIAS
+from repro.analysis.grid import run_grid
+from repro.baselines import GAConfig, GeneticAlgorithm
+from repro.core import SEConfig, SimulatedEvolution
+from repro.workloads import WorkloadSuite
+
+BUDGET_SECONDS = 1.5  # per algorithm per workload
+GRID_TASKS = 40
+GRID_MACHINES = 8
+
+
+def se_makespan(workload) -> float:
+    cfg = SEConfig(
+        seed=5,
+        selection_bias=COMPARISON_SE_BIAS,
+        max_iterations=10**9,
+        time_limit=BUDGET_SECONDS,
+    )
+    return SimulatedEvolution(cfg).run(workload).best_makespan
+
+
+def ga_makespan(workload) -> float:
+    cfg = GAConfig(
+        seed=6,
+        max_generations=10**9,
+        stall_generations=None,
+        time_limit=BUDGET_SECONDS,
+    )
+    return GeneticAlgorithm(cfg).run(workload).best_makespan
+
+
+def run_conclusion_grid():
+    suite = WorkloadSuite(
+        num_tasks=GRID_TASKS,
+        num_machines=GRID_MACHINES,
+        connectivities=("low", "high"),
+        heterogeneities=("low", "high"),
+        ccrs=(0.1, 1.0),
+        replicates=2,
+        seed=11,
+    )
+    return run_grid(suite, {"SE": se_makespan, "GA": ga_makespan})
+
+
+def test_sec53_conclusion(benchmark, write_output):
+    grid = benchmark.pedantic(run_conclusion_grid, rounds=1, iterations=1)
+
+    overall = grid.win_loss("SE", "GA")
+    high_slice = grid.win_loss("SE", "GA", connectivity="high")
+    report = grid.axis_report("SE", "GA")
+    league = grid.league_table()
+    text = (
+        "SEC53 — SE vs GA win/loss per workload class "
+        f"({BUDGET_SECONDS}s budget each, {GRID_TASKS} tasks x "
+        f"{GRID_MACHINES} machines, 2 replicates)\n\n"
+        f"{report}\n\n"
+        f"overall: SE {overall.describe()} vs GA "
+        f"(win rate {overall.win_rate():.2f})\n"
+        "paper: SE better on high connectivity / heterogeneity / CCR; "
+        "unclear elsewhere\n"
+        f"league (geomean normalized): "
+        + ", ".join(f"{a}={v:.3f}" for a, v in league)
+        + "\n"
+        f"matches: {high_slice.win_rate() >= 0.5}\n"
+    )
+    write_output("sec53_conclusion", text)
+
+    # loose floor: SE must not be dominated across the board
+    assert overall.win_rate() >= 0.3
+    # and both algorithms stay within sane normalized range
+    for name, gm in league:
+        assert 1.0 <= gm < 5.0, (name, gm)

@@ -1,0 +1,34 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark writes its regenerated figure (ASCII chart + series data
++ paper-vs-measured verdict) into ``benchmarks/output/`` so EXPERIMENTS.md
+can reference concrete artifacts.  Benchmarks assert only *loose* shape
+invariants — single-seed stochastic runs must not flake the suite — and
+record the strict paper-shape verdicts in their output files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def write_output(output_dir):
+    """Writer fixture: ``write_output("fig3a", text)``."""
+
+    def write(name: str, text: str) -> Path:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text)
+        return path
+
+    return write

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Tour of every scheduler in the library across a workload grid.
+
+Runs SE, the GA, HEFT, Min-min, Max-min, OLB and random search on a
+small suite spanning the paper's three classification axes, and prints a
+normalized-makespan league table (1.0 = theoretical lower bound).
+
+Run:  python examples/baseline_tour.py
+"""
+
+from collections import defaultdict
+
+from repro.analysis import geometric_mean, markdown_table
+from repro.baselines import (
+    GAConfig,
+    heft,
+    max_min,
+    min_min,
+    olb,
+    random_search,
+    run_ga,
+)
+from repro.core import SEConfig, run_se
+from repro.schedule.metrics import normalized_makespan
+from repro.workloads import smoke_suite
+
+
+def main() -> None:
+    algorithms = {
+        "SE": lambda w: run_se(w, SEConfig(seed=1, max_iterations=60)).best_makespan,
+        "GA": lambda w: run_ga(
+            w, GAConfig(seed=1, max_generations=60, stall_generations=None)
+        ).best_makespan,
+        "HEFT": lambda w: heft(w).makespan,
+        "Min-min": lambda w: min_min(w).makespan,
+        "Max-min": lambda w: max_min(w).makespan,
+        "OLB": lambda w: olb(w).makespan,
+        "Random": lambda w: random_search(w, samples=300, seed=1).makespan,
+    }
+
+    slr = defaultdict(list)  # algorithm -> normalized makespans
+    rows = []
+    for cell in smoke_suite(seed=99):
+        w = cell.build()
+        row = [w.classification.describe()]
+        for name, fn in algorithms.items():
+            m = fn(w)
+            n = normalized_makespan(w, m)
+            slr[name].append(n)
+            row.append(f"{n:.2f}")
+        rows.append(row)
+
+    print("normalized makespan per workload (1.0 = lower bound):\n")
+    print(markdown_table(["workload"] + list(algorithms), rows))
+
+    print("\ngeometric-mean normalized makespan (lower is better):")
+    league = sorted(
+        (geometric_mean(vals), name) for name, vals in slr.items()
+    )
+    for score, name in league:
+        print(f"  {name:8s} {score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

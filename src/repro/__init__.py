@@ -1,0 +1,98 @@
+"""repro — Simulated Evolution for task matching and scheduling in
+heterogeneous computing systems.
+
+A faithful, production-quality reproduction of
+
+    Barada, Sait & Baig, "Task Matching and Scheduling in Heterogeneous
+    Systems Using Simulated Evolution", IPPS 2001,
+
+including the heterogeneous-computing problem model, the combined
+matching+scheduling string encoding, the SE engine (evaluation /
+selection / allocation), the GA comparator of Wang et al. (JPDC 1997),
+classic deterministic baselines (HEFT, Min-min, Max-min, OLB), workload
+generators over the paper's three classification axes (connectivity,
+heterogeneity, CCR), and a benchmark harness regenerating every figure
+of the paper's evaluation section.
+
+Quickstart::
+
+    import repro
+
+    workload = repro.workloads.figure5_workload(seed=7)
+    result = repro.run_se(workload, repro.SEConfig(seed=7, max_iterations=200))
+    print(result.best_makespan)
+"""
+
+from repro import analysis, baselines, extensions, io, model, schedule, workloads
+from repro.baselines import (
+    GAConfig,
+    GAResult,
+    GeneticAlgorithm,
+    heft,
+    max_min,
+    min_min,
+    olb,
+    random_search,
+    run_ga,
+)
+from repro.core import (
+    SEConfig,
+    SEResult,
+    SimulatedEvolution,
+    run_se,
+)
+from repro.model import (
+    HCSystem,
+    TaskGraph,
+    Workload,
+    WorkloadClass,
+    paper_sample_workload,
+)
+from repro.schedule import (
+    Schedule,
+    ScheduleString,
+    Simulator,
+    compute_metrics,
+    evaluate_schedule,
+    verify_schedule,
+)
+from repro.workloads import WorkloadSpec, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "extensions",
+    "io",
+    "model",
+    "schedule",
+    "workloads",
+    "GAConfig",
+    "GAResult",
+    "GeneticAlgorithm",
+    "heft",
+    "max_min",
+    "min_min",
+    "olb",
+    "random_search",
+    "run_ga",
+    "SEConfig",
+    "SEResult",
+    "SimulatedEvolution",
+    "run_se",
+    "HCSystem",
+    "TaskGraph",
+    "Workload",
+    "WorkloadClass",
+    "paper_sample_workload",
+    "Schedule",
+    "ScheduleString",
+    "Simulator",
+    "compute_metrics",
+    "evaluate_schedule",
+    "verify_schedule",
+    "WorkloadSpec",
+    "build_workload",
+    "__version__",
+]

@@ -1,0 +1,77 @@
+"""Experiment harness: traces, comparisons, statistics, plotting, reports."""
+
+from repro.analysis.ascii_plot import Series, line_plot, sparkline
+from repro.analysis.grid import (
+    Algorithm,
+    GridCellResult,
+    GridResult,
+    run_grid,
+)
+from repro.analysis.convergence import (
+    StagnationStats,
+    iterations_to_within,
+    normalized_auc,
+    speedup_to_reach,
+    stagnation,
+    time_to_target,
+)
+from repro.analysis.compare import (
+    COMPARISON_SE_BIAS,
+    ComparisonResult,
+    ComparisonSeries,
+    compare_algorithms,
+    ga_runner,
+    make_time_grid,
+    se_runner,
+    se_vs_ga,
+)
+from repro.analysis.report import (
+    ExperimentRecord,
+    markdown_table,
+    render_report,
+)
+from repro.analysis.stats import (
+    SummaryStats,
+    WinLossRecord,
+    geometric_mean,
+    makespan_ratio,
+    summarize,
+    win_loss,
+)
+from repro.analysis.trace import ConvergenceTrace, IterationRecord, downsample
+
+__all__ = [
+    "COMPARISON_SE_BIAS",
+    "Series",
+    "line_plot",
+    "sparkline",
+    "ComparisonResult",
+    "ComparisonSeries",
+    "compare_algorithms",
+    "ga_runner",
+    "make_time_grid",
+    "se_runner",
+    "se_vs_ga",
+    "ExperimentRecord",
+    "markdown_table",
+    "render_report",
+    "SummaryStats",
+    "WinLossRecord",
+    "geometric_mean",
+    "makespan_ratio",
+    "summarize",
+    "win_loss",
+    "ConvergenceTrace",
+    "IterationRecord",
+    "downsample",
+    "StagnationStats",
+    "iterations_to_within",
+    "normalized_auc",
+    "speedup_to_reach",
+    "stagnation",
+    "time_to_target",
+    "Algorithm",
+    "GridCellResult",
+    "GridResult",
+    "run_grid",
+]

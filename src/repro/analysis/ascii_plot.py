@@ -1,0 +1,116 @@
+"""Terminal line plots — the library's only "figure" renderer.
+
+The benchmarks regenerate the paper's figures as data series; this module
+draws them as fixed-width ASCII charts so the shapes (decay of selected
+subtasks, convergence curves, SE-vs-GA crossovers) are inspectable
+directly in benchmark output and CI logs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+#: Glyphs assigned to series in order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line: x and y of equal length."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: x has {len(self.x)} points, "
+                f"y has {len(self.y)}"
+            )
+
+
+def _finite(values: Sequence[float]) -> list[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def line_plot(
+    series: Sequence[Series],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render *series* onto a ``width x height`` character canvas.
+
+    Points outside the finite data range are skipped; each series uses
+    the next glyph from :data:`SERIES_GLYPHS`.  Returns a printable
+    multi-line string with axes, a legend and min/max annotations.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("canvas must be at least 10x4")
+
+    xs = [v for s in series for v in _finite(s.x)]
+    ys = [v for s in series for v in _finite(s.y)]
+    if not xs or not ys:
+        raise ValueError("series contain no finite points")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        glyph = SERIES_GLYPHS[idx % len(SERIES_GLYPHS)]
+        for xv, yv in zip(s.x, s.y):
+            if not (math.isfinite(xv) and math.isfinite(yv)):
+                continue
+            col = int((xv - x_min) / x_span * (width - 1))
+            row = height - 1 - int((yv - y_min) / y_span * (height - 1))
+            canvas[row][col] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{y_label}  (top={y_max:.4g}, bottom={y_min:.4g})")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    x_caption = f"{x_min:.4g}"
+    x_right = f"{x_max:.4g}"
+    pad = max(1, width - len(x_caption) - len(x_right))
+    lines.append(" " + x_caption + " " * pad + x_right)
+    if x_label:
+        lines.append(f" x: {x_label}")
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {s.name}"
+        for i, s in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line unicode sparkline of *values* (compact trend display)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    finite = _finite(values)
+    if not finite:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    out = []
+    for v in values:
+        if not math.isfinite(v):
+            out.append(" ")
+        else:
+            out.append(blocks[int((v - lo) / span * (len(blocks) - 1))])
+    return "".join(out)

@@ -1,0 +1,226 @@
+"""Time-budget-equalised algorithm comparison (paper §5.3, Figs. 5-7).
+
+The paper plots "the best schedules found by both algorithms as real
+time increases": SE and the GA each get the same wall-clock budget on
+the same workload, and their best-so-far curves are sampled on a common
+time grid.  :func:`compare_algorithms` is that harness, generalised to
+any number of trace-producing runners.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.analysis.trace import ConvergenceTrace
+from repro.baselines.ga import GAConfig, GeneticAlgorithm
+from repro.core.config import SEConfig
+from repro.core.engine import SimulatedEvolution
+from repro.model.workload import Workload
+from repro.utils.rng import RandomSource
+
+#: A runner takes (workload, time_limit_seconds) and returns a trace.
+Runner = Callable[[Workload, float], ConvergenceTrace]
+
+
+@dataclass(frozen=True)
+class ComparisonSeries:
+    """One algorithm's sampled best-so-far curve.
+
+    ``best_at[i]`` is the best makespan found within ``time_grid[i]``
+    seconds (``inf`` until the first evaluation lands).
+    """
+
+    name: str
+    time_grid: tuple[float, ...]
+    best_at: tuple[float, ...]
+    final_best: float
+    iterations: int
+
+    def first_finite_index(self) -> int:
+        """Index of the first grid point with a real value."""
+        for i, v in enumerate(self.best_at):
+            if math.isfinite(v):
+                return i
+        return len(self.best_at)
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of one head-to-head comparison on one workload."""
+
+    workload_name: str
+    time_budget: float
+    series: tuple[ComparisonSeries, ...]
+
+    def by_name(self, name: str) -> ComparisonSeries:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r}")
+
+    def winner_at(self, grid_index: int) -> Optional[str]:
+        """Name of the strictly best algorithm at a grid point (None = tie)."""
+        vals = [(s.best_at[grid_index], s.name) for s in self.series]
+        vals.sort()
+        if len(vals) >= 2 and vals[0][0] == vals[1][0]:
+            return None
+        if not math.isfinite(vals[0][0]):
+            return None
+        return vals[0][1]
+
+    def final_winner(self) -> Optional[str]:
+        """Winner at the end of the budget."""
+        return self.winner_at(len(self.series[0].time_grid) - 1)
+
+    def winner_timeline(self) -> list[Optional[str]]:
+        """Winner at every grid point — shows lead changes over time."""
+        return [
+            self.winner_at(i) for i in range(len(self.series[0].time_grid))
+        ]
+
+    def advantage(self, name_a: str, name_b: str) -> list[float]:
+        """Per-grid-point ratio ``best_b / best_a`` (>1 = *a* is ahead).
+
+        Grid points where either curve is still infinite yield ``nan``.
+        """
+        a = self.by_name(name_a)
+        b = self.by_name(name_b)
+        out = []
+        for va, vb in zip(a.best_at, b.best_at):
+            if math.isfinite(va) and math.isfinite(vb) and va > 0:
+                out.append(vb / va)
+            else:
+                out.append(float("nan"))
+        return out
+
+
+def make_time_grid(budget: float, points: int) -> tuple[float, ...]:
+    """*points* sample times from ``budget/points`` up to ``budget``."""
+    if budget <= 0:
+        raise ValueError(f"budget must be > 0, got {budget}")
+    if points < 1:
+        raise ValueError(f"points must be >= 1, got {points}")
+    return tuple(budget * (i + 1) / points for i in range(points))
+
+
+def se_runner(
+    base: Optional[SEConfig] = None, seed: RandomSource = None
+) -> Runner:
+    """Build an SE runner for :func:`compare_algorithms`.
+
+    The iteration cap is lifted so the wall clock is the binding limit.
+    """
+
+    def run(workload: Workload, time_limit: float) -> ConvergenceTrace:
+        cfg_base = base or SEConfig()
+        from dataclasses import replace
+
+        cfg = replace(
+            cfg_base,
+            time_limit=time_limit,
+            max_iterations=10**9,
+            seed=seed if seed is not None else cfg_base.seed,
+        )
+        return SimulatedEvolution(cfg).run(workload).trace
+
+    return run
+
+
+def ga_runner(
+    base: Optional[GAConfig] = None, seed: RandomSource = None
+) -> Runner:
+    """Build a GA runner for :func:`compare_algorithms`."""
+
+    def run(workload: Workload, time_limit: float) -> ConvergenceTrace:
+        from dataclasses import replace
+
+        cfg_base = base or GAConfig()
+        cfg = replace(
+            cfg_base,
+            time_limit=time_limit,
+            max_generations=10**9,
+            stall_generations=None,
+            seed=seed if seed is not None else cfg_base.seed,
+        )
+        return GeneticAlgorithm(cfg).run(workload).trace
+
+    return run
+
+
+def compare_algorithms(
+    workload: Workload,
+    runners: Mapping[str, Runner],
+    time_budget: float,
+    grid_points: int = 20,
+) -> ComparisonResult:
+    """Run every runner under *time_budget* seconds; sample on one grid.
+
+    Runners execute sequentially (each gets the full budget to itself),
+    exactly like the paper's per-algorithm wall-clock measurement.
+    """
+    if not runners:
+        raise ValueError("need at least one runner")
+    grid = make_time_grid(time_budget, grid_points)
+    series = []
+    for name, runner in runners.items():
+        trace = runner(workload, time_budget)
+        best_at = tuple(trace.best_at_time(t) for t in grid)
+        series.append(
+            ComparisonSeries(
+                name=name,
+                time_grid=grid,
+                best_at=best_at,
+                final_best=(
+                    trace.final_best() if len(trace) else float("inf")
+                ),
+                iterations=len(trace),
+            )
+        )
+    return ComparisonResult(
+        workload_name=workload.name,
+        time_budget=time_budget,
+        series=tuple(series),
+    )
+
+
+#: SE selection bias used by default in head-to-head comparisons.
+#:
+#: Under a wall-clock budget, sustained selection pressure matters more
+#: than cheap iterations: on converged solutions the goodness vector
+#: saturates near 1, and with the paper's positive large-problem bias
+#: (§4.4) almost nothing gets selected — SE idles while the GA keeps
+#: improving.  A mildly negative bias keeps ~10% of subtasks churning and
+#: reproduces the paper's Figs. 5-6 outcome (SE ahead of GA); see
+#: EXPERIMENTS.md for the calibration data.
+COMPARISON_SE_BIAS = -0.1
+
+
+def se_vs_ga(
+    workload: Workload,
+    time_budget: float,
+    se_config: Optional[SEConfig] = None,
+    ga_config: Optional[GAConfig] = None,
+    grid_points: int = 20,
+    seed: RandomSource = None,
+) -> ComparisonResult:
+    """The paper's head-to-head: SE vs GA on one workload (Figs. 5-7).
+
+    Unless *se_config* overrides it, SE runs with
+    ``selection_bias=COMPARISON_SE_BIAS`` (see that constant's docstring).
+    """
+    from repro.utils.rng import spawn_rngs
+
+    if se_config is None:
+        se_config = SEConfig(selection_bias=COMPARISON_SE_BIAS)
+    rng_se, rng_ga = spawn_rngs(seed, 2)
+    return compare_algorithms(
+        workload,
+        {
+            "SE": se_runner(se_config, seed=rng_se),
+            "GA": ga_runner(ga_config, seed=rng_ga),
+        },
+        time_budget=time_budget,
+        grid_points=grid_points,
+    )

@@ -1,0 +1,158 @@
+"""Grid experiments: algorithms × workload suite → per-class conclusions.
+
+The paper's §5.3 verdict is phrased per workload *class*: "SE produced
+better solutions than GA ... for workloads with relatively high
+connectivity, and/or high heterogeneity, and/or high CCR".  This module
+turns that kind of claim into a computed object: run a set of algorithms
+over a :class:`~repro.workloads.suite.WorkloadSuite`, aggregate
+normalized makespans per classification axis, and report win/loss
+records between any two algorithms conditioned on a class value.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.report import markdown_table
+from repro.analysis.stats import WinLossRecord, geometric_mean, win_loss
+from repro.model.workload import Workload
+from repro.schedule.metrics import normalized_makespan
+from repro.workloads.suite import WorkloadSuite
+
+#: An algorithm for the grid: workload -> makespan.
+Algorithm = Callable[[Workload], float]
+
+
+@dataclass(frozen=True)
+class GridCellResult:
+    """One (workload, algorithm) measurement."""
+
+    workload_name: str
+    connectivity: str
+    heterogeneity: str
+    ccr: float
+    algorithm: str
+    makespan: float
+    normalized: float
+
+
+@dataclass
+class GridResult:
+    """All measurements of one grid run, with aggregation helpers."""
+
+    cells: list[GridCellResult] = field(default_factory=list)
+
+    @property
+    def algorithms(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.algorithm, None)
+        return list(seen)
+
+    def _pairs(
+        self, algo_a: str, algo_b: str, predicate=None
+    ) -> tuple[list[float], list[float]]:
+        by_workload: dict[str, dict[str, GridCellResult]] = defaultdict(dict)
+        for c in self.cells:
+            by_workload[c.workload_name][c.algorithm] = c
+        a_vals, b_vals = [], []
+        for cells in by_workload.values():
+            if algo_a not in cells or algo_b not in cells:
+                continue
+            if predicate is not None and not predicate(cells[algo_a]):
+                continue
+            a_vals.append(cells[algo_a].makespan)
+            b_vals.append(cells[algo_b].makespan)
+        return a_vals, b_vals
+
+    def win_loss(
+        self,
+        algo_a: str,
+        algo_b: str,
+        connectivity: str | None = None,
+        heterogeneity: str | None = None,
+        ccr: float | None = None,
+        rel_tol: float = 1e-3,
+    ) -> WinLossRecord:
+        """Win/loss of *algo_a* vs *algo_b*, optionally class-restricted.
+
+        ``rel_tol`` treats makespans within 0.1% as ties by default —
+        stochastic heuristics routinely land that close.
+        """
+
+        def predicate(cell: GridCellResult) -> bool:
+            if connectivity is not None and cell.connectivity != connectivity:
+                return False
+            if heterogeneity is not None and cell.heterogeneity != heterogeneity:
+                return False
+            if ccr is not None and cell.ccr != ccr:
+                return False
+            return True
+
+        a_vals, b_vals = self._pairs(algo_a, algo_b, predicate)
+        return win_loss(a_vals, b_vals, rel_tol=rel_tol)
+
+    def geomean_normalized(self, algorithm: str) -> float:
+        """Geometric-mean normalized makespan of one algorithm."""
+        vals = [c.normalized for c in self.cells if c.algorithm == algorithm]
+        if not vals:
+            raise KeyError(f"no measurements for algorithm {algorithm!r}")
+        return geometric_mean(vals)
+
+    def league_table(self) -> list[tuple[str, float]]:
+        """Algorithms sorted by geometric-mean normalized makespan."""
+        return sorted(
+            ((a, self.geomean_normalized(a)) for a in self.algorithms),
+            key=lambda kv: kv[1],
+        )
+
+    def axis_report(self, algo_a: str, algo_b: str) -> str:
+        """Markdown: win/loss of A vs B conditioned on every class value.
+
+        This is the §5.3 conclusion as a table: one row per
+        (axis, value), with A's record against B on that slice.
+        """
+        rows: list[Sequence[object]] = []
+        conns = sorted({c.connectivity for c in self.cells})
+        hets = sorted({c.heterogeneity for c in self.cells})
+        ccrs = sorted({c.ccr for c in self.cells})
+        for value in conns:
+            rec = self.win_loss(algo_a, algo_b, connectivity=value)
+            rows.append(("connectivity", value, rec.describe(), f"{rec.win_rate():.2f}"))
+        for value in hets:
+            rec = self.win_loss(algo_a, algo_b, heterogeneity=value)
+            rows.append(("heterogeneity", value, rec.describe(), f"{rec.win_rate():.2f}"))
+        for value in ccrs:
+            rec = self.win_loss(algo_a, algo_b, ccr=value)
+            rows.append(("CCR", value, rec.describe(), f"{rec.win_rate():.2f}"))
+        return markdown_table(
+            ["axis", "value", f"{algo_a} vs {algo_b}", "win rate"], rows
+        )
+
+
+def run_grid(
+    suite: WorkloadSuite, algorithms: Mapping[str, Algorithm]
+) -> GridResult:
+    """Run every algorithm on every suite cell; returns all measurements."""
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    result = GridResult()
+    for cell in suite:
+        w = cell.build()
+        c = w.classification
+        for name, algo in algorithms.items():
+            m = float(algo(w))
+            result.cells.append(
+                GridCellResult(
+                    workload_name=w.name,
+                    connectivity=c.connectivity,
+                    heterogeneity=c.heterogeneity,
+                    ccr=float(c.ccr if c.ccr is not None else float("nan")),
+                    algorithm=name,
+                    makespan=m,
+                    normalized=normalized_makespan(w, m),
+                )
+            )
+    return result

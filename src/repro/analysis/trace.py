@@ -1,0 +1,155 @@
+"""Convergence traces: per-iteration records of an optimisation run.
+
+Both engines (SE and the GA baseline) append one record per iteration /
+generation; the figure benchmarks read these traces to regenerate the
+paper's plots (selected-subtask counts for Fig. 3a, schedule lengths for
+Figs. 3b/4, best-so-far vs wall time for Figs. 5-7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One iteration of an iterative scheduler.
+
+    Attributes
+    ----------
+    iteration:
+        1-based iteration (SE) or generation (GA) number.
+    current_makespan:
+        Schedule length of the current/working solution.
+    best_makespan:
+        Best schedule length seen so far in the run.
+    num_selected:
+        SE: size of the selection set this iteration (the quantity in
+        Fig. 3a).  GA: number of offspring accepted.  May be ``None``
+        for algorithms without the notion.
+    elapsed_seconds:
+        Wall time since the run started.
+    mean_goodness:
+        SE-specific: mean goodness of the population (``None`` for GA).
+    evaluations:
+        Cumulative number of simulator calls up to and including this
+        iteration (cost accounting for time-vs-quality plots).
+    """
+
+    iteration: int
+    current_makespan: float
+    best_makespan: float
+    num_selected: Optional[int] = None
+    elapsed_seconds: float = 0.0
+    mean_goodness: Optional[float] = None
+    evaluations: int = 0
+
+
+class ConvergenceTrace:
+    """An append-only sequence of :class:`IterationRecord`."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records: Iterable[IterationRecord] = ()):
+        self._records: list[IterationRecord] = list(records)
+
+    def append(self, record: IterationRecord) -> None:
+        if self._records and record.iteration <= self._records[-1].iteration:
+            raise ValueError(
+                f"iteration numbers must increase; got {record.iteration} "
+                f"after {self._records[-1].iteration}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> IterationRecord:
+        return self._records[index]
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> Sequence[IterationRecord]:
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------
+    # series extraction (the figure benchmarks read these)
+    # ------------------------------------------------------------------
+
+    def iterations(self) -> list[int]:
+        return [r.iteration for r in self._records]
+
+    def selected_counts(self) -> list[int]:
+        """Fig. 3a series; raises if any record lacks the count."""
+        counts = [r.num_selected for r in self._records]
+        if any(c is None for c in counts):
+            raise ValueError("trace has records without num_selected")
+        return [int(c) for c in counts]  # type: ignore[arg-type]
+
+    def current_makespans(self) -> list[float]:
+        """Fig. 3b / Fig. 4 series."""
+        return [r.current_makespan for r in self._records]
+
+    def best_makespans(self) -> list[float]:
+        """Monotone best-so-far series (Figs. 5-7 y-axis)."""
+        return [r.best_makespan for r in self._records]
+
+    def elapsed(self) -> list[float]:
+        """Wall-time axis (Figs. 5-7 x-axis)."""
+        return [r.elapsed_seconds for r in self._records]
+
+    def final_best(self) -> float:
+        """Best makespan at the end of the run."""
+        if not self._records:
+            raise ValueError("empty trace")
+        return self._records[-1].best_makespan
+
+    def best_at_time(self, seconds: float) -> float:
+        """Best makespan achieved within the first *seconds* of the run.
+
+        Used by the SE-vs-GA comparison to sample both algorithms on a
+        common time grid.  Returns ``inf`` if nothing finished in time.
+        """
+        best = math.inf
+        for r in self._records:
+            if r.elapsed_seconds <= seconds and r.best_makespan < best:
+                best = r.best_makespan
+        return best
+
+    def improvement_ratio(self) -> float:
+        """First-to-best makespan ratio (>= 1 when the run improved)."""
+        if not self._records:
+            raise ValueError("empty trace")
+        first = self._records[0].current_makespan
+        return first / self.final_best()
+
+    def to_rows(self) -> list[dict]:
+        """Records as plain dicts (CSV/JSON export in reports)."""
+        return [
+            {
+                "iteration": r.iteration,
+                "current_makespan": r.current_makespan,
+                "best_makespan": r.best_makespan,
+                "num_selected": r.num_selected,
+                "elapsed_seconds": r.elapsed_seconds,
+                "mean_goodness": r.mean_goodness,
+                "evaluations": r.evaluations,
+            }
+            for r in self._records
+        ]
+
+
+def downsample(trace: ConvergenceTrace, max_points: int) -> ConvergenceTrace:
+    """Thin a long trace to at most *max_points* records (keeping ends)."""
+    if max_points < 2:
+        raise ValueError(f"max_points must be >= 2, got {max_points}")
+    n = len(trace)
+    if n <= max_points:
+        return ConvergenceTrace(trace.records)
+    step = (n - 1) / (max_points - 1)
+    idx = sorted({round(i * step) for i in range(max_points)})
+    return ConvergenceTrace(trace[i] for i in idx)

@@ -1,0 +1,134 @@
+"""Common result type and machine-choice substrate for the static baselines.
+
+Every baseline returns a :class:`BaselineResult` whose schedule was
+produced by the *same* :class:`~repro.schedule.simulator.Simulator`
+semantics as SE and the GA — non-insertion, string order = per-machine
+execution order — so makespans are directly comparable across all
+algorithms in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.workload import Workload
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.simulator import Schedule, Simulator
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of a (usually deterministic) baseline scheduler."""
+
+    name: str
+    string: ScheduleString
+    schedule: Schedule
+    makespan: float
+    evaluations: int = 0
+
+
+class IncrementalScheduleBuilder:
+    """Builds a schedule one task at a time with EFT queries.
+
+    Maintains per-machine availability and per-task finish times so that
+    list schedulers can ask "what would task *t* finish at on machine
+    *m*?" in O(in-degree) without re-simulating the prefix.  The final
+    :meth:`to_result` re-evaluates the assembled string through the
+    shared simulator (and asserts agreement) so baselines cannot drift
+    from the reference cost model.
+    """
+
+    def __init__(self, workload: Workload, name: str):
+        self._workload = workload
+        self._name = name
+        self._graph = workload.graph
+        self._E = workload.exec_times.values.tolist()
+        self._finish: dict[int, float] = {}
+        self._machine_avail = [0.0] * workload.num_machines
+        self._machine_of: list[int | None] = [None] * workload.num_tasks
+        self._order: list[int] = []
+        # per consumer: (producer, item) pairs
+        incoming: list[list[tuple[int, int]]] = [
+            [] for _ in range(workload.num_tasks)
+        ]
+        for d in self._graph.data_items:
+            incoming[d.consumer].append((d.producer, d.index))
+        self._incoming = [tuple(es) for es in incoming]
+
+    @property
+    def scheduled_count(self) -> int:
+        return len(self._order)
+
+    def data_ready_time(self, task: int, machine: int) -> float:
+        """Earliest time all inputs of *task* are available on *machine*.
+
+        Requires every predecessor to be scheduled already.
+        """
+        w = self._workload
+        ready = 0.0
+        for prod, item in self._incoming[task]:
+            if prod not in self._finish:
+                raise ValueError(
+                    f"cannot query task {task}: predecessor {prod} unscheduled"
+                )
+            pm = self._machine_of[prod]
+            arrival = self._finish[prod] + w.comm_time(pm, machine, item)
+            if arrival > ready:
+                ready = arrival
+        return ready
+
+    def finish_time(self, task: int, machine: int) -> float:
+        """EFT of *task* on *machine* under non-insertion semantics."""
+        start = max(
+            self._machine_avail[machine], self.data_ready_time(task, machine)
+        )
+        return start + self._E[machine][task]
+
+    def best_machine(self, task: int) -> tuple[int, float]:
+        """Machine minimising EFT (ties → lowest id) and that EFT."""
+        best_m = 0
+        best_f = float("inf")
+        for m in range(self._workload.num_machines):
+            f = self.finish_time(task, m)
+            if f < best_f:
+                best_f = f
+                best_m = m
+        return best_m, best_f
+
+    def place(self, task: int, machine: int) -> float:
+        """Commit *task* to *machine*; returns its finish time."""
+        if self._machine_of[task] is not None:
+            raise ValueError(f"task {task} is already scheduled")
+        fin = self.finish_time(task, machine)
+        self._finish[task] = fin
+        self._machine_avail[machine] = fin
+        self._machine_of[task] = machine
+        self._order.append(task)
+        return fin
+
+    def to_result(self, evaluations: int = 0) -> BaselineResult:
+        """Finalize: build the string, re-simulate, and cross-check."""
+        if len(self._order) != self._workload.num_tasks:
+            raise ValueError(
+                f"only {len(self._order)} of {self._workload.num_tasks} "
+                "tasks scheduled"
+            )
+        string = ScheduleString(
+            self._order,
+            [int(m) for m in self._machine_of],  # type: ignore[arg-type]
+            self._workload.num_machines,
+        )
+        schedule = Simulator(self._workload).evaluate(string)
+        expected = max(self._finish.values())
+        if abs(schedule.makespan - expected) > 1e-6 * max(1.0, expected):
+            raise AssertionError(
+                f"builder makespan {expected} disagrees with simulator "
+                f"{schedule.makespan}; cost models diverged"
+            )
+        return BaselineResult(
+            name=self._name,
+            string=string,
+            schedule=schedule,
+            makespan=schedule.makespan,
+            evaluations=evaluations,
+        )

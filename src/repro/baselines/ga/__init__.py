@@ -1,0 +1,31 @@
+"""Genetic-algorithm baseline (Wang et al., JPDC 1997) — the paper's comparator."""
+
+from repro.baselines.ga.chromosome import (
+    Chromosome,
+    initial_population,
+    is_valid_chromosome,
+    random_chromosome,
+)
+from repro.baselines.ga.config import GAConfig
+from repro.baselines.ga.engine import GAResult, GeneticAlgorithm, run_ga
+from repro.baselines.ga.operators import (
+    matching_crossover,
+    matching_mutation,
+    scheduling_crossover,
+    scheduling_mutation,
+)
+
+__all__ = [
+    "Chromosome",
+    "initial_population",
+    "is_valid_chromosome",
+    "random_chromosome",
+    "GAConfig",
+    "GAResult",
+    "GeneticAlgorithm",
+    "run_ga",
+    "matching_crossover",
+    "matching_mutation",
+    "scheduling_crossover",
+    "scheduling_mutation",
+]

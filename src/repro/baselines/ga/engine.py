@@ -1,0 +1,179 @@
+"""The genetic-algorithm baseline engine (Wang et al. 1997).
+
+Generation loop: evaluate → elitist copy → roulette-wheel parent
+selection → (matching + scheduling) crossover → mutations → next
+generation.  Fitness for the roulette wheel is the standard
+cost-to-fitness flip ``worst - cost + eps`` so that smaller makespans get
+proportionally more wheel area.
+
+The engine emits the same :class:`~repro.analysis.trace.ConvergenceTrace`
+records as the SE engine, so the comparison harness and the figure
+benchmarks treat both uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.trace import ConvergenceTrace, IterationRecord
+from repro.baselines.ga.chromosome import Chromosome, initial_population
+from repro.baselines.ga.config import GAConfig
+from repro.baselines.ga.operators import (
+    matching_crossover,
+    matching_mutation,
+    scheduling_crossover,
+    scheduling_mutation,
+)
+from repro.model.workload import Workload
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.simulator import Schedule, Simulator
+from repro.utils.rng import as_rng
+from repro.utils.timers import Stopwatch
+
+
+@dataclass(frozen=True)
+class GAResult:
+    """Outcome of one GA run (mirror of :class:`repro.core.engine.SEResult`)."""
+
+    best_string: ScheduleString
+    best_makespan: float
+    best_schedule: Schedule
+    trace: ConvergenceTrace
+    generations: int
+    evaluations: int
+    stopped_by: str
+
+
+class GeneticAlgorithm:
+    """Wang-et-al.-style GA configured by a :class:`GAConfig`."""
+
+    def __init__(self, config: Optional[GAConfig] = None):
+        self.config = config or GAConfig()
+
+    def run(
+        self,
+        workload: Workload,
+        initial: Optional[Sequence[Chromosome]] = None,
+    ) -> GAResult:
+        """Optimise *workload*; returns the best chromosome found.
+
+        Parameters
+        ----------
+        workload:
+            The MSHC problem instance.
+        initial:
+            Optional seed population (copied); padded with random
+            chromosomes / truncated to the configured size.
+        """
+        cfg = self.config
+        rng = as_rng(cfg.seed)
+        graph = workload.graph
+        l = workload.num_machines
+        sim = Simulator(workload)
+        evaluations = 0
+
+        population = [c.copy() for c in (initial or [])][: cfg.population_size]
+        if len(population) < cfg.population_size:
+            population.extend(
+                initial_population(
+                    graph, l, cfg.population_size - len(population), rng
+                )
+            )
+
+        def evaluate(pop: list[Chromosome]) -> int:
+            calls = 0
+            for c in pop:
+                if c.cost is None:
+                    c.cost = sim.makespan(c.scheduling, c.matching)
+                    calls += 1
+            return calls
+
+        watch = Stopwatch()
+        trace = ConvergenceTrace()
+        evaluations += evaluate(population)
+        best = min(population, key=lambda c: c.cost).copy()
+        stall = 0
+        stopped_by = "generations"
+        generation = 0
+
+        while generation < cfg.max_generations:
+            if cfg.time_limit is not None and watch.elapsed() >= cfg.time_limit:
+                stopped_by = "time"
+                break
+            generation += 1
+
+            nxt: list[Chromosome] = []
+            if cfg.elite_count:
+                for c in sorted(population, key=lambda c: c.cost)[
+                    : cfg.elite_count
+                ]:
+                    nxt.append(c.copy())
+
+            costs = np.array([c.cost for c in population])
+            # cost -> fitness flip; +eps keeps the worst individual alive
+            fitness = costs.max() - costs + 1e-9
+            probs = fitness / fitness.sum()
+
+            while len(nxt) < cfg.population_size:
+                ia, ib = rng.choice(len(population), size=2, p=probs)
+                pa, pb = population[int(ia)], population[int(ib)]
+                if rng.random() < cfg.crossover_prob:
+                    ca, cb = matching_crossover(pa, pb, rng)
+                    ca, cb = scheduling_crossover(ca, cb, rng)
+                else:
+                    ca, cb = pa.copy(), pb.copy()
+                for child in (ca, cb):
+                    if rng.random() < cfg.mutation_prob:
+                        matching_mutation(child, l, rng)
+                    if rng.random() < cfg.mutation_prob:
+                        scheduling_mutation(child, graph, l, rng)
+                nxt.append(ca)
+                if len(nxt) < cfg.population_size:
+                    nxt.append(cb)
+
+            population = nxt
+            evaluations += evaluate(population)
+            gen_best = min(population, key=lambda c: c.cost)
+            if gen_best.cost < best.cost:
+                best = gen_best.copy()
+                stall = 0
+            else:
+                stall += 1
+
+            trace.append(
+                IterationRecord(
+                    iteration=generation,
+                    current_makespan=float(gen_best.cost),
+                    best_makespan=float(best.cost),
+                    num_selected=None,
+                    elapsed_seconds=watch.elapsed(),
+                    mean_goodness=None,
+                    evaluations=evaluations,
+                )
+            )
+
+            if (
+                cfg.stall_generations is not None
+                and stall >= cfg.stall_generations
+            ):
+                stopped_by = "stall"
+                break
+
+        best_string = best.to_string(l)
+        return GAResult(
+            best_string=best_string,
+            best_makespan=float(best.cost),
+            best_schedule=sim.evaluate(best_string),
+            trace=trace,
+            generations=generation,
+            evaluations=evaluations,
+            stopped_by=stopped_by,
+        )
+
+
+def run_ga(workload: Workload, config: Optional[GAConfig] = None) -> GAResult:
+    """Functional convenience wrapper around :class:`GeneticAlgorithm`."""
+    return GeneticAlgorithm(config).run(workload)

@@ -1,0 +1,94 @@
+"""Validity-preserving genetic operators (Wang et al. 1997, §4).
+
+* **Matching crossover** — single cut point on the subtask index axis;
+  children swap machine assignments for subtasks past the cut.  Always
+  valid (any matching is valid).
+* **Scheduling crossover** — cut both parents' scheduling strings at a
+  random position; each child keeps its own prefix and appends the
+  missing subtasks *in the order they appear in the other parent*.
+  This preserves topological validity: for any edge ``u -> v``, if ``v``
+  lands in the prefix then ``u`` (which precedes ``v`` in the parent
+  order) is in the prefix too, and both suffix orders inherit a valid
+  relative order from the other parent.
+* **Matching mutation** — reassign one uniformly random subtask to a
+  uniformly random machine.
+* **Scheduling mutation** — move one subtask to a random position within
+  its valid range (shared primitive with SE's initial solution).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.ga.chromosome import Chromosome
+from repro.model.graph import TaskGraph
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.operations import random_valid_move
+
+
+def matching_crossover(
+    a: Chromosome, b: Chromosome, rng: np.random.Generator
+) -> Tuple[Chromosome, Chromosome]:
+    """Single-point crossover of the matching strings; returns two children."""
+    k = len(a.matching)
+    if len(b.matching) != k:
+        raise ValueError("parents have different matching lengths")
+    cut = int(rng.integers(1, k)) if k > 1 else 0
+    child_a = a.copy()
+    child_b = b.copy()
+    child_a.matching[cut:] = b.matching[cut:]
+    child_b.matching[cut:] = a.matching[cut:]
+    child_a.cost = None
+    child_b.cost = None
+    return child_a, child_b
+
+
+def scheduling_crossover(
+    a: Chromosome, b: Chromosome, rng: np.random.Generator
+) -> Tuple[Chromosome, Chromosome]:
+    """Order-based crossover of the scheduling strings; returns two children."""
+    k = len(a.scheduling)
+    if len(b.scheduling) != k:
+        raise ValueError("parents have different scheduling lengths")
+    cut = int(rng.integers(1, k)) if k > 1 else 0
+
+    def merge(prefix_src: list[int], order_src: list[int]) -> list[int]:
+        prefix = prefix_src[:cut]
+        chosen = set(prefix)
+        return prefix + [t for t in order_src if t not in chosen]
+
+    child_a = a.copy()
+    child_b = b.copy()
+    child_a.scheduling = merge(a.scheduling, b.scheduling)
+    child_b.scheduling = merge(b.scheduling, a.scheduling)
+    child_a.cost = None
+    child_b.cost = None
+    return child_a, child_b
+
+
+def matching_mutation(
+    chrom: Chromosome, num_machines: int, rng: np.random.Generator
+) -> None:
+    """Reassign one random subtask to a random machine (in place)."""
+    task = int(rng.integers(len(chrom.matching)))
+    chrom.matching[task] = int(rng.integers(num_machines))
+    chrom.cost = None
+
+
+def scheduling_mutation(
+    chrom: Chromosome,
+    graph: TaskGraph,
+    num_machines: int,
+    rng: np.random.Generator,
+) -> None:
+    """Move one random subtask within its valid range (in place).
+
+    Implemented by round-tripping through :class:`ScheduleString`, which
+    already knows how to do dependency-safe moves.
+    """
+    string = ScheduleString(chrom.scheduling, chrom.matching, num_machines)
+    random_valid_move(string, graph, rng)
+    chrom.scheduling = list(string.order)
+    chrom.cost = None

@@ -1,0 +1,28 @@
+"""HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al.).
+
+The best-known deterministic heuristic for DAG scheduling on
+heterogeneous machines, cited by the paper as [5].  Not part of the
+paper's own evaluation (which compares SE against the GA only), but an
+indispensable reference point for downstream users, and the baseline
+grid benchmark (BASE in DESIGN.md) reports it alongside SE/GA.
+
+This implementation is HEFT's ranking phase (upward rank with mean
+execution and mean transfer costs) combined with the library's
+*non-insertion* EFT machine selection, so its schedules obey exactly the
+same semantics as every other algorithm here.  The original paper's
+insertion-based variant can only improve on this; the difference is
+documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult
+from repro.baselines.listsched import list_schedule, upward_ranks
+from repro.model.workload import Workload
+
+__all__ = ["heft", "upward_ranks"]
+
+
+def heft(workload: Workload) -> BaselineResult:
+    """Schedule *workload* with HEFT; deterministic."""
+    return list_schedule(workload, priority="upward_rank", name="heft")

@@ -1,0 +1,24 @@
+"""OLB — Opportunistic Load Balancing (Braun et al. [4]).
+
+The weakest classic baseline: walk the ready tasks in topological order
+and put each on the machine that becomes *available* earliest, ignoring
+execution times entirely.  Useful as a floor in the baseline grid — any
+heterogeneity-aware heuristic should beat it on heterogeneous workloads.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult, IncrementalScheduleBuilder
+from repro.model.workload import Workload
+
+
+def olb(workload: Workload) -> BaselineResult:
+    """Schedule *workload* with OLB; deterministic."""
+    builder = IncrementalScheduleBuilder(workload, "olb")
+    avail = [0.0] * workload.num_machines
+    for task in workload.graph.topological_order():
+        # earliest-available machine, ties -> lowest id
+        machine = min(range(workload.num_machines), key=lambda m: (avail[m], m))
+        fin = builder.place(task, machine)
+        avail[machine] = fin
+    return builder.to_result(evaluations=workload.num_tasks)

@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro`` / ``repro-mshc``.
+
+Subcommands
+-----------
+* ``describe``  — print a workload preset's characteristics.
+* ``run``       — run one algorithm (se, ga, heft, minmin, maxmin, olb,
+  random) on a preset and print the schedule summary.
+* ``compare``   — the paper's SE-vs-GA head-to-head with an ASCII plot.
+* ``figure``    — regenerate one of the paper's figures (3a, 3b, 4a, 4b,
+  5, 6, 7) as an ASCII chart.
+* ``export``    — write artifacts to disk: the workload as JSON, its DAG
+  as Graphviz DOT, and an SE schedule as JSON + SVG Gantt chart.
+
+Examples::
+
+    python -m repro describe --preset fig5 --seed 7
+    python -m repro run --algo se --preset small --seed 7 --iterations 200
+    python -m repro compare --preset fig6 --budget 10 --seed 1
+    python -m repro figure 3a --seed 11 --iterations 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.ascii_plot import Series, line_plot
+from repro.analysis.compare import se_vs_ga
+from repro.baselines import (
+    GAConfig,
+    heft,
+    max_min,
+    min_min,
+    olb,
+    random_search,
+    run_ga,
+)
+from repro.core import SEConfig, run_se
+from repro.model import Workload, paper_sample_workload
+from repro.schedule import Timeline, compute_metrics
+from repro.workloads import (
+    figure3_workload,
+    figure4a_workload,
+    figure4b_workload,
+    figure5_workload,
+    figure6_workload,
+    figure7_workload,
+    small_workload,
+)
+
+PRESETS: dict[str, Callable[[Optional[int]], Workload]] = {
+    "paper-sample": lambda seed: paper_sample_workload(),
+    "small": small_workload,
+    "fig3": figure3_workload,
+    "fig4a": figure4a_workload,
+    "fig4b": figure4b_workload,
+    "fig5": figure5_workload,
+    "fig6": figure6_workload,
+    "fig7": figure7_workload,
+}
+
+
+def _load_workload(preset: str, seed: Optional[int]) -> Workload:
+    try:
+        factory = PRESETS[preset]
+    except KeyError:
+        raise SystemExit(
+            f"unknown preset {preset!r}; choose from {', '.join(PRESETS)}"
+        )
+    return factory(seed)
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    w = _load_workload(args.preset, args.seed)
+    print(w.describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    w = _load_workload(args.preset, args.seed)
+    algo = args.algo
+    if algo == "se":
+        res = run_se(
+            w,
+            SEConfig(
+                seed=args.seed,
+                max_iterations=args.iterations,
+                time_limit=args.budget,
+                y_candidates=args.y,
+                selection_bias=args.bias,
+            ),
+        )
+        schedule, makespan = res.best_schedule, res.best_makespan
+        print(
+            f"SE finished: {res.iterations} iterations, "
+            f"{res.evaluations} evaluations, stopped by {res.stopped_by}"
+        )
+    elif algo == "ga":
+        res = run_ga(
+            w,
+            GAConfig(
+                seed=args.seed,
+                max_generations=args.iterations,
+                time_limit=args.budget,
+            ),
+        )
+        schedule, makespan = res.best_schedule, res.best_makespan
+        print(
+            f"GA finished: {res.generations} generations, "
+            f"{res.evaluations} evaluations, stopped by {res.stopped_by}"
+        )
+    else:
+        fns = {
+            "heft": heft,
+            "minmin": min_min,
+            "maxmin": max_min,
+            "olb": olb,
+            "random": lambda w: random_search(
+                w, samples=args.iterations, seed=args.seed
+            ),
+        }
+        res = fns[algo](w)
+        schedule, makespan = res.schedule, res.makespan
+        print(f"{res.name} finished ({res.evaluations} evaluations)")
+
+    print(f"\nmakespan: {makespan:.2f}\n")
+    print(compute_metrics(w, schedule).describe())
+    if args.gantt:
+        print("\n" + Timeline(schedule, w.num_machines).render_ascii())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    w = _load_workload(args.preset, args.seed)
+    print(w.describe())
+    print(f"\nrunning SE and GA for {args.budget:.1f}s each ...")
+    cmp = se_vs_ga(
+        w, time_budget=args.budget, grid_points=args.points, seed=args.seed
+    )
+    series = [
+        Series(s.name, s.time_grid, s.best_at) for s in cmp.series
+    ]
+    print(
+        line_plot(
+            series,
+            title=f"best schedule length vs time — {w.name}",
+            x_label="seconds",
+            y_label="schedule length",
+        )
+    )
+    for s in cmp.series:
+        print(f"{s.name}: final best = {s.final_best:.1f} ({s.iterations} iters)")
+    print("winner timeline:", " ".join(str(x) for x in cmp.winner_timeline()))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    fig = args.id
+    seed = args.seed
+    iters = args.iterations
+    if fig in ("3a", "3b"):
+        w = figure3_workload(seed)
+        res = run_se(w, SEConfig(seed=seed, max_iterations=iters))
+        tr = res.trace
+        if fig == "3a":
+            series = [Series("selected subtasks", tr.iterations(), tr.selected_counts())]
+            ylab = "number of selected subtasks"
+        else:
+            series = [Series("schedule length", tr.iterations(), tr.current_makespans())]
+            ylab = "schedule length"
+        print(line_plot(series, title=f"Figure {fig}", x_label="iteration", y_label=ylab))
+    elif fig in ("4a", "4b"):
+        w = figure4a_workload(seed) if fig == "4a" else figure4b_workload(seed)
+        series = []
+        for y in (5, 9, 12):
+            res = run_se(
+                w, SEConfig(seed=seed, max_iterations=iters, y_candidates=y)
+            )
+            tr = res.trace
+            series.append(Series(f"Y={y}", tr.iterations(), tr.best_makespans()))
+        print(
+            line_plot(
+                series,
+                title=f"Figure {fig} — effect of Y",
+                x_label="iteration",
+                y_label="schedule length",
+            )
+        )
+    elif fig in ("5", "6", "7"):
+        w = {"5": figure5_workload, "6": figure6_workload, "7": figure7_workload}[fig](seed)
+        cmp = se_vs_ga(w, time_budget=args.budget, grid_points=args.points, seed=seed)
+        series = [Series(s.name, s.time_grid, s.best_at) for s in cmp.series]
+        print(
+            line_plot(
+                series,
+                title=f"Figure {fig} — SE vs GA on {w.name}",
+                x_label="seconds",
+                y_label="best schedule length",
+            )
+        )
+    else:
+        raise SystemExit(f"unknown figure {fig!r}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.io import save_dot, save_json, save_svg
+
+    w = _load_workload(args.preset, args.seed)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = w.name
+
+    written = [
+        save_json(w, out / f"{stem}.workload.json"),
+        save_dot(w.graph, out / f"{stem}.dot", name=stem),
+    ]
+    if args.schedule:
+        res = run_se(
+            w, SEConfig(seed=args.seed, max_iterations=args.iterations)
+        )
+        written.append(
+            save_json(res.best_schedule, out / f"{stem}.schedule.json")
+        )
+        written.append(
+            save_svg(w, res.best_schedule, out / f"{stem}.gantt.svg")
+        )
+        written.append(save_json(res.trace, out / f"{stem}.trace.json"))
+        print(f"SE best makespan: {res.best_makespan:.1f}")
+    for p in written:
+        print(f"wrote {p}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mshc",
+        description=(
+            "Simulated Evolution for task matching and scheduling in "
+            "heterogeneous systems (IPPS 2001 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="print a workload preset summary")
+    p.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser("run", help="run one algorithm on a preset")
+    p.add_argument(
+        "--algo",
+        default="se",
+        choices=["se", "ga", "heft", "minmin", "maxmin", "olb", "random"],
+    )
+    p.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=200)
+    p.add_argument("--budget", type=float, default=None, help="seconds")
+    p.add_argument("--y", type=int, default=None, help="SE Y parameter")
+    p.add_argument("--bias", type=float, default=None, help="SE selection bias B")
+    p.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("compare", help="SE vs GA under one wall-clock budget")
+    p.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=float, default=10.0, help="seconds per algorithm")
+    p.add_argument("--points", type=int, default=16)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("export", help="write workload/schedule artifacts")
+    p.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="artifacts", help="output directory")
+    p.add_argument(
+        "--schedule",
+        action="store_true",
+        help="also run SE and export its schedule (JSON + SVG) and trace",
+    )
+    p.add_argument("--iterations", type=int, default=150)
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure (ASCII)")
+    p.add_argument("id", choices=["3a", "3b", "4a", "4b", "5", "6", "7"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=300)
+    p.add_argument("--budget", type=float, default=10.0)
+    p.add_argument("--points", type=int, default=16)
+    p.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

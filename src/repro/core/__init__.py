@@ -1,0 +1,50 @@
+"""Simulated Evolution for matching and scheduling (the paper's contribution).
+
+The engine in :mod:`repro.core.engine` runs the three-step SE loop —
+evaluation (:mod:`~repro.core.goodness`), selection
+(:mod:`~repro.core.selection`), allocation (:mod:`~repro.core.allocation`)
+— from the randomised initial solution of :mod:`~repro.core.initial`,
+configured by :class:`~repro.core.config.SEConfig`.
+"""
+
+from repro.core.allocation import AllocationResult, Allocator
+from repro.core.config import SEConfig, default_bias
+from repro.core.engine import SEResult, SimulatedEvolution, run_se
+from repro.core.goodness import (
+    GoodnessEvaluator,
+    goodness_values,
+    optimal_finish_times,
+)
+from repro.core.initial import initial_solution
+from repro.core.observers import (
+    Observer,
+    ProgressPrinter,
+    StallDetector,
+    StringSnapshots,
+)
+from repro.core.selection import (
+    bias_for_target_fraction,
+    expected_selection_fraction,
+    select_subtasks,
+)
+
+__all__ = [
+    "AllocationResult",
+    "Allocator",
+    "SEConfig",
+    "default_bias",
+    "SEResult",
+    "SimulatedEvolution",
+    "run_se",
+    "GoodnessEvaluator",
+    "goodness_values",
+    "optimal_finish_times",
+    "initial_solution",
+    "Observer",
+    "ProgressPrinter",
+    "StallDetector",
+    "StringSnapshots",
+    "bias_for_target_fraction",
+    "expected_selection_fraction",
+    "select_subtasks",
+]

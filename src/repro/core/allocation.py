@@ -1,0 +1,142 @@
+"""The SE allocation step (paper §4.5).
+
+Allocation is **constructive**: each selected subtask, taken in ascending
+DAG-level order, is removed from its location and greedily re-placed at
+the combination of (string position, machine) that yields the best
+overall schedule length.  Two controls bound the enumeration:
+
+* the **valid moving range** — only dependency-safe positions are tried;
+* the **Y parameter** — only the subtask's ``Y`` best-matching machines
+  (by execution time) are candidates.  Small ``Y`` = fast iterations,
+  large ``Y`` = wider search; Figures 4a/4b study the trade-off.
+
+Slot enumeration: with ``"per-machine"`` strategy (default) only one
+insertion index per *distinct per-machine order* is evaluated — positions
+between the same two same-machine neighbours produce identical schedules,
+so enumerating them all (``"all-positions"``, kept for the ABL-SLOT
+ablation) wastes simulator calls without reaching any extra schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model.workload import Workload
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.simulator import Simulator
+from repro.schedule.valid_range import (
+    machine_slot_indices,
+    valid_insertion_range,
+)
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of one allocation step over a selection set.
+
+    Attributes
+    ----------
+    makespan:
+        Schedule length of the string after all relocations.
+    trials:
+        Number of candidate placements evaluated (simulator calls).
+    moved:
+        Number of subtasks whose placement actually changed.
+    """
+
+    makespan: float
+    trials: int
+    moved: int
+
+
+class Allocator:
+    """Reusable allocation-step executor for one workload.
+
+    Parameters
+    ----------
+    workload / simulator:
+        The problem instance and its evaluation context.
+    y_candidates:
+        The resolved ``Y`` (1..l).
+    slots:
+        ``"per-machine"`` or ``"all-positions"`` (see module docstring).
+    """
+
+    __slots__ = ("_workload", "_sim", "_graph", "_y", "_slots", "_candidates")
+
+    def __init__(
+        self,
+        workload: Workload,
+        simulator: Simulator,
+        y_candidates: int,
+        slots: str = "per-machine",
+    ):
+        if not 1 <= y_candidates <= workload.num_machines:
+            raise ValueError(
+                f"y_candidates must be in [1, {workload.num_machines}], "
+                f"got {y_candidates}"
+            )
+        if slots not in ("per-machine", "all-positions"):
+            raise ValueError(f"unknown slot strategy {slots!r}")
+        self._workload = workload
+        self._sim = simulator
+        self._graph = workload.graph
+        self._y = y_candidates
+        self._slots = slots
+        # Top-Y machines per subtask, fastest first (precomputed ranking).
+        e = workload.exec_times
+        self._candidates = tuple(
+            e.best_machines(t, y_candidates) for t in range(workload.num_tasks)
+        )
+
+    @property
+    def y_candidates(self) -> int:
+        return self._y
+
+    def allocate(
+        self, string: ScheduleString, selected: Sequence[int]
+    ) -> AllocationResult:
+        """Re-place every subtask in *selected* (in the given order).
+
+        Mutates *string* in place.  Returns the resulting makespan and
+        enumeration statistics.  With an empty selection set the string
+        is untouched and one evaluation reports its makespan.
+        """
+        sim = self._sim
+        graph = self._graph
+        trials = 0
+        moved = 0
+
+        for task in selected:
+            orig_pos = string.position_of(task)
+            orig_machine = string.machine_of(task)
+            best_cost = float("inf")
+            best_machine = orig_machine
+            best_index = orig_pos
+
+            for machine in self._candidates[task]:
+                if self._slots == "per-machine":
+                    indices = machine_slot_indices(
+                        string, graph, task, machine
+                    )
+                else:
+                    lo, hi = valid_insertion_range(string, graph, task)
+                    indices = list(range(lo, hi + 1))
+                for idx in indices:
+                    string.relocate(task, idx, machine)
+                    cost = sim.makespan(string.order, string.machines)
+                    trials += 1
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_machine = machine
+                        best_index = idx
+                    # revert before the next probe
+                    string.relocate(task, orig_pos, orig_machine)
+
+            string.relocate(task, best_index, best_machine)
+            if best_index != orig_pos or best_machine != orig_machine:
+                moved += 1
+
+        final = sim.makespan(string.order, string.machines)
+        return AllocationResult(makespan=final, trials=trials + 1, moved=moved)

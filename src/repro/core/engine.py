@@ -1,0 +1,203 @@
+"""The Simulated Evolution engine (paper §3-§4).
+
+One SE iteration = **Evaluation** (goodness ``g_i = O_i/C_i``) →
+**Selection** (coin flip against ``g_i + B``) → **Allocation**
+(constructive greedy re-placement of the selected subtasks).  The loop
+repeats until an iteration cap, a wall-clock limit, or an optional
+no-improvement stall is hit.
+
+Typical use::
+
+    from repro import SEConfig, SimulatedEvolution, presets
+
+    workload = presets.figure5_workload(seed=1)
+    result = SimulatedEvolution(SEConfig(seed=1, max_iterations=300)).run(workload)
+    print(result.best_makespan)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.trace import ConvergenceTrace, IterationRecord
+from repro.core.allocation import Allocator
+from repro.core.config import SEConfig
+from repro.core.goodness import GoodnessEvaluator
+from repro.core.initial import initial_solution
+from repro.core.observers import Observer
+from repro.core.selection import bias_for_target_fraction, select_subtasks
+from repro.model.workload import Workload
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.simulator import Schedule, Simulator
+from repro.utils.rng import as_rng
+from repro.utils.timers import Stopwatch
+
+
+@dataclass(frozen=True)
+class SEResult:
+    """Outcome of one SE run.
+
+    Attributes
+    ----------
+    best_string:
+        The best solution found (a copy; safe to keep).
+    best_makespan:
+        Its schedule length — the paper's objective value.
+    best_schedule:
+        The fully evaluated best schedule (start/finish times).
+    trace:
+        Per-iteration convergence records (feeds Figures 3-7).
+    iterations:
+        Number of iterations executed.
+    evaluations:
+        Total simulator calls (cost accounting).
+    bias, y_candidates:
+        The resolved parameter values actually used.  With the
+        adaptive-bias extension enabled, ``bias`` is the value used in
+        the *last* iteration (it changes every iteration).
+    stopped_by:
+        ``"iterations"``, ``"time"`` or ``"stall"``.
+    """
+
+    best_string: ScheduleString
+    best_makespan: float
+    best_schedule: Schedule
+    trace: ConvergenceTrace
+    iterations: int
+    evaluations: int
+    bias: float
+    y_candidates: int
+    stopped_by: str
+
+
+class SimulatedEvolution:
+    """The SE metaheuristic configured by an :class:`SEConfig`."""
+
+    def __init__(self, config: Optional[SEConfig] = None):
+        self.config = config or SEConfig()
+
+    def run(
+        self,
+        workload: Workload,
+        observers: Sequence[Observer] = (),
+        initial: Optional[ScheduleString] = None,
+    ) -> SEResult:
+        """Optimise *workload*; see class docstring.
+
+        Parameters
+        ----------
+        workload:
+            The MSHC problem instance.
+        observers:
+            Callables invoked each iteration with ``(record, string)``.
+        initial:
+            Optional starting string (copied); defaults to the paper's
+            randomised initial solution (§4.2).
+        """
+        cfg = self.config
+        rng = as_rng(cfg.seed)
+        graph = workload.graph
+        sim = Simulator(workload)
+        goodness = GoodnessEvaluator(workload)
+        bias = cfg.resolved_bias(graph.num_tasks)
+        y = cfg.resolved_y(workload.num_machines)
+        allocator = Allocator(
+            workload, sim, y_candidates=y, slots=cfg.allocation_slots
+        )
+
+        if initial is None:
+            string = initial_solution(
+                graph,
+                workload.num_machines,
+                rng,
+                shuffle_range=cfg.initial_shuffle_range,
+            )
+        else:
+            string = initial.copy()
+
+        watch = Stopwatch()
+        trace = ConvergenceTrace()
+        evaluations = 0
+
+        current = sim.evaluate(string)
+        evaluations += 1
+        best_string = string.copy()
+        best_makespan = current.makespan
+        stall = 0
+        stopped_by = "iterations"
+        iteration = 0
+
+        while iteration < cfg.max_iterations:
+            if cfg.time_limit is not None and watch.elapsed() >= cfg.time_limit:
+                stopped_by = "time"
+                break
+            iteration += 1
+
+            # Evaluation (paper §4.3): Ci = finish times of current string.
+            g = goodness.goodness(current.finish)
+
+            # Selection (paper §4.4); adaptive-bias extension re-solves
+            # for B each iteration to hold the selection fraction steady.
+            if cfg.adaptive_target is not None:
+                bias = bias_for_target_fraction(g, cfg.adaptive_target)
+            selected = select_subtasks(g, graph, bias, rng)
+
+            # Allocation (paper §4.5): greedy constructive re-placement.
+            alloc = allocator.allocate(string, selected)
+            evaluations += alloc.trials
+
+            current = sim.evaluate(string)
+            evaluations += 1
+            if current.makespan < best_makespan:
+                best_makespan = current.makespan
+                best_string = string.copy()
+                stall = 0
+            else:
+                stall += 1
+
+            record = IterationRecord(
+                iteration=iteration,
+                current_makespan=current.makespan,
+                best_makespan=best_makespan,
+                num_selected=len(selected),
+                elapsed_seconds=watch.elapsed(),
+                mean_goodness=float(np.mean(g)),
+                evaluations=evaluations,
+            )
+            trace.append(record)
+            for obs in observers:
+                obs(record, string)
+
+            if (
+                cfg.stall_iterations is not None
+                and stall >= cfg.stall_iterations
+            ):
+                stopped_by = "stall"
+                break
+
+        return SEResult(
+            best_string=best_string,
+            best_makespan=best_makespan,
+            best_schedule=sim.evaluate(best_string),
+            trace=trace,
+            iterations=iteration,
+            evaluations=evaluations,
+            bias=bias,
+            y_candidates=y,
+            stopped_by=stopped_by,
+        )
+
+
+def run_se(
+    workload: Workload,
+    config: Optional[SEConfig] = None,
+    observers: Sequence[Observer] = (),
+    initial: Optional[ScheduleString] = None,
+) -> SEResult:
+    """Functional convenience wrapper around :class:`SimulatedEvolution`."""
+    return SimulatedEvolution(config).run(
+        workload, observers=observers, initial=initial
+    )

@@ -1,0 +1,100 @@
+"""The SE evaluation step: goodness ``g_i = O_i / C_i`` (paper §4.3).
+
+``C_i`` is the finishing time of subtask ``s_i`` in the *current*
+solution (straight from the simulator).  ``O_i`` is an optimistic
+finishing time under the paper's function **F**: ``s_i`` and all its
+predecessors sit on their best-matching machines (fastest execution
+time).  ``O_i`` depends only on the workload, so it is computed once at
+initialisation and reused every generation — exactly as the paper
+prescribes ("Oi does not change from one generation to the next").
+
+Concretely we evaluate F with a contention-free recursion over the DAG::
+
+    O_i = E[bm(i), i] + max(0, max over items (prod -> i) of
+                              O_prod + Tr[pair(bm(prod), bm(i)), item])
+
+where ``bm(t)`` is the best-matching machine of ``t``.  Machine queueing
+among predecessors is ignored (the paper's worked example charges s4 only
+the chain through s1 even though s0 and s1 share machine m0, which is
+consistent with a contention-free reading; see DESIGN.md).  Because F is
+optimistic-but-not-a-true-lower-bound, ``O_i/C_i`` can exceed 1 in odd
+corners, so goodness is clamped into [0, 1] to honour the paper's "a
+number expressible in the range [0,1]".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.workload import Workload
+
+
+def optimal_finish_times(workload: Workload) -> np.ndarray:
+    """The vector ``O`` of optimistic finish times (function F), per subtask.
+
+    Computed once per workload in topological order; ``O[i] > 0`` always.
+    """
+    graph = workload.graph
+    e = workload.exec_times
+    best = [e.best_machine(t) for t in range(graph.num_tasks)]
+    best_time = [e.best_time(t) for t in range(graph.num_tasks)]
+
+    o = np.zeros(graph.num_tasks)
+    # group incoming items per consumer once
+    incoming: list[list[tuple[int, int]]] = [
+        [] for _ in range(graph.num_tasks)
+    ]
+    for d in graph.data_items:
+        incoming[d.consumer].append((d.producer, d.index))
+
+    for t in graph.topological_order():
+        ready = 0.0
+        bm_t = best[t]
+        for prod, item in incoming[t]:
+            arrival = o[prod] + workload.comm_time(best[prod], bm_t, item)
+            if arrival > ready:
+                ready = arrival
+        o[t] = ready + best_time[t]
+    return o
+
+
+def goodness_values(
+    optimal: np.ndarray, current_finish: list[float] | np.ndarray
+) -> np.ndarray:
+    """Per-subtask goodness ``min(1, O_i / C_i)``.
+
+    Parameters
+    ----------
+    optimal:
+        The precomputed ``O`` vector from :func:`optimal_finish_times`.
+    current_finish:
+        The ``C`` vector — per-subtask finish times of the current
+        solution (see :meth:`repro.schedule.simulator.Simulator.finish_times`).
+    """
+    c = np.asarray(current_finish, dtype=float)
+    if c.shape != optimal.shape:
+        raise ValueError(
+            f"finish-time vector has shape {c.shape}, expected {optimal.shape}"
+        )
+    if np.any(c <= 0):
+        raise ValueError("current finish times must be strictly positive")
+    return np.minimum(1.0, optimal / c)
+
+
+class GoodnessEvaluator:
+    """Caches ``O`` for a workload and maps solutions to goodness vectors."""
+
+    __slots__ = ("_optimal",)
+
+    def __init__(self, workload: Workload):
+        self._optimal = optimal_finish_times(workload)
+        self._optimal.setflags(write=False)
+
+    @property
+    def optimal(self) -> np.ndarray:
+        """The (read-only) ``O`` vector."""
+        return self._optimal
+
+    def goodness(self, current_finish: list[float] | np.ndarray) -> np.ndarray:
+        """Goodness vector for one solution's finish times."""
+        return goodness_values(self._optimal, current_finish)

@@ -1,0 +1,84 @@
+"""Observation hooks for the SE engine.
+
+The engine accepts any number of observers — callables invoked once per
+iteration with an :class:`~repro.analysis.trace.IterationRecord` plus the
+live working string.  Observers power the figure benchmarks (Fig. 3a/3b
+need the per-iteration selected counts and schedule lengths) without the
+engine knowing anything about plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.analysis.trace import IterationRecord
+from repro.schedule.encoding import ScheduleString
+
+
+class Observer(Protocol):
+    """Anything callable as ``observer(record, string)``."""
+
+    def __call__(
+        self, record: IterationRecord, string: ScheduleString
+    ) -> None: ...
+
+
+class StringSnapshots:
+    """Observer that keeps a copy of the working string each iteration.
+
+    Memory-heavy (O(iterations * k)); only enable for small studies such
+    as the worked examples.
+    """
+
+    def __init__(self) -> None:
+        self.snapshots: list[ScheduleString] = []
+
+    def __call__(
+        self, record: IterationRecord, string: ScheduleString
+    ) -> None:
+        self.snapshots.append(string.copy())
+
+
+class ProgressPrinter:
+    """Observer that prints a one-line status every *every* iterations."""
+
+    def __init__(self, every: int = 100, out: Optional[Callable[[str], None]] = None):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self._out = out or (lambda s: print(s))
+
+    def __call__(
+        self, record: IterationRecord, string: ScheduleString
+    ) -> None:
+        if record.iteration % self.every == 0:
+            self._out(
+                f"[it {record.iteration:>6}] current={record.current_makespan:.1f} "
+                f"best={record.best_makespan:.1f} "
+                f"selected={record.num_selected} "
+                f"t={record.elapsed_seconds:.2f}s"
+            )
+
+
+class StallDetector:
+    """Tracks the longest streak of non-improving iterations.
+
+    The engine has its own stall-based stopping rule; this observer is
+    the read-only counterpart for post-hoc analysis.
+    """
+
+    def __init__(self) -> None:
+        self._best = float("inf")
+        self.current_streak = 0
+        self.longest_streak = 0
+
+    def __call__(
+        self, record: IterationRecord, string: ScheduleString
+    ) -> None:
+        if record.best_makespan < self._best:
+            self._best = record.best_makespan
+            self.current_streak = 0
+        else:
+            self.current_streak += 1
+            if self.current_streak > self.longest_streak:
+                self.longest_streak = self.current_streak

@@ -1,0 +1,102 @@
+"""The SE selection step (paper §4.4).
+
+For every subtask ``s_i`` a uniform random number ``r`` in [0, 1) is
+drawn and compared with ``g_i + B``: the subtask is **selected** for
+re-allocation when ``r > g_i + B``.  Low-goodness (badly placed)
+subtasks are therefore likely to be selected, while well-placed ones
+keep a non-zero escape probability.  The bias ``B`` shifts the whole
+threshold: negative values select more subtasks (thorough search, used
+for small DAGs), positive values select fewer (faster iterations on
+large DAGs).
+
+Selected subtasks are returned **sorted by ascending DAG level** (ties
+broken by subtask id for determinism) — the order in which allocation
+will re-place them, so producers settle before their consumers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.graph import TaskGraph
+
+
+def select_subtasks(
+    goodness: np.ndarray,
+    graph: TaskGraph,
+    bias: float,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Run one selection step; returns selected subtask ids, level-ordered.
+
+    Parameters
+    ----------
+    goodness:
+        Per-subtask goodness vector in [0, 1].
+    graph:
+        Supplies DAG levels for the ordering of the result.
+    bias:
+        The selection bias ``B``.
+    rng:
+        Randomness source (one uniform draw per subtask).
+    """
+    k = graph.num_tasks
+    if goodness.shape != (k,):
+        raise ValueError(
+            f"goodness has shape {goodness.shape}, expected ({k},)"
+        )
+    draws = rng.random(k)
+    selected = np.nonzero(draws > goodness + bias)[0]
+    levels = graph.levels
+    return sorted((int(t) for t in selected), key=lambda t: (levels[t], t))
+
+
+def bias_for_target_fraction(
+    goodness: np.ndarray,
+    target: float,
+    lo: float = -1.0,
+    hi: float = 1.0,
+    tol: float = 1e-6,
+) -> float:
+    """Bias ``B`` whose expected selection fraction is closest to *target*.
+
+    This powers the **adaptive-bias** SE variant (an extension beyond the
+    paper, see :class:`~repro.core.config.SEConfig.adaptive_target`): the
+    fixed-``B`` prescription of §4.4 starves selection once goodness
+    saturates near 1, whereas re-solving for ``B`` each iteration keeps a
+    constant fraction of subtasks churning.
+
+    The expected fraction ``mean(1 - clip(g + B, 0, 1))`` is monotone
+    non-increasing in ``B``, so a bisection suffices.  The result is
+    clamped to ``[lo, hi]``; with an unreachable target (e.g. 0.999 when
+    every goodness is already 0) the nearest achievable bias is returned.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError(f"target fraction must be in (0, 1], got {target}")
+
+    def fraction(b: float) -> float:
+        return float(np.mean(1.0 - np.clip(goodness + b, 0.0, 1.0)))
+
+    if fraction(lo) <= target:
+        return lo
+    if fraction(hi) >= target:
+        return hi
+    a, b = lo, hi
+    while b - a > tol:
+        mid = (a + b) / 2
+        if fraction(mid) > target:
+            a = mid
+        else:
+            b = mid
+    return (a + b) / 2
+
+
+def expected_selection_fraction(goodness: np.ndarray, bias: float) -> float:
+    """Expected fraction of subtasks selected given *goodness* and *bias*.
+
+    ``E[|S|]/k = mean(1 - clip(g + B, 0, 1))``.  Used by tests and by the
+    effectiveness analysis (Fig. 3a): as the solution improves, goodness
+    rises and this fraction falls.
+    """
+    threshold = np.clip(goodness + bias, 0.0, 1.0)
+    return float(np.mean(1.0 - threshold))

@@ -1,0 +1,24 @@
+"""Extensions beyond the paper's model.
+
+* :mod:`~repro.extensions.contention` — NIC-serialised network model for
+  stress-testing the paper's contention-free assumption;
+* :mod:`~repro.extensions.hybrid` — HEFT-seeded warm starts for SE and
+  the GA (never worse than HEFT by construction).
+"""
+
+from repro.extensions.contention import (
+    ContentionSchedule,
+    ContentionSimulator,
+    TransferRecord,
+    contention_penalty,
+)
+from repro.extensions.hybrid import heft_seeded_ga, heft_seeded_se
+
+__all__ = [
+    "ContentionSchedule",
+    "ContentionSimulator",
+    "TransferRecord",
+    "contention_penalty",
+    "heft_seeded_ga",
+    "heft_seeded_se",
+]

@@ -1,0 +1,47 @@
+"""The heterogeneous-computing problem model (paper §2).
+
+Subtasks and data items form a DAG (:class:`TaskGraph`); machines form a
+fully connected :class:`HCSystem`; costs live in the execution-time matrix
+``E`` and the transfer-time matrix ``Tr``; a :class:`Workload` bundles one
+complete problem instance.
+"""
+
+from repro.model.graph import TaskGraph
+from repro.model.machine import Machine, MachineSet
+from repro.model.matrices import (
+    ExecutionTimeMatrix,
+    TransferTimeMatrix,
+    num_pairs,
+    pair_index,
+)
+from repro.model.sample import (
+    FIGURE2_PAIRS,
+    PAPER_O4,
+    paper_sample_graph,
+    paper_sample_system,
+    paper_sample_workload,
+)
+from repro.model.system import FULLY_CONNECTED, HCSystem
+from repro.model.task import DataItem, Subtask
+from repro.model.workload import Workload, WorkloadClass
+
+__all__ = [
+    "TaskGraph",
+    "Machine",
+    "MachineSet",
+    "ExecutionTimeMatrix",
+    "TransferTimeMatrix",
+    "num_pairs",
+    "pair_index",
+    "FIGURE2_PAIRS",
+    "PAPER_O4",
+    "paper_sample_graph",
+    "paper_sample_system",
+    "paper_sample_workload",
+    "FULLY_CONNECTED",
+    "HCSystem",
+    "DataItem",
+    "Subtask",
+    "Workload",
+    "WorkloadClass",
+]

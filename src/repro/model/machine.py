@@ -1,0 +1,109 @@
+"""Machines of the heterogeneous suite.
+
+The paper's HC system is a set ``M = {m_i, 0 <= i < l}`` of machines, each
+characterised by an architecture class (SIMD, MIMD, special-purpose FFT,
+...).  The architecture label is *descriptive only* — all quantitative
+behaviour flows through the execution-time matrix ``E`` and the transfer
+matrix ``Tr`` — but it is kept on the object because workload generators
+use it to induce correlated (``consistent``) heterogeneity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Machine:
+    """One machine of the heterogeneous suite.
+
+    Attributes
+    ----------
+    index:
+        Dense identifier in ``[0, l)``; indexes the rows of ``E`` and
+        the pair rows of ``Tr``.
+    name:
+        Human-readable label; defaults to ``"m{index}"``.
+    architecture:
+        Free-form architecture class tag (e.g. ``"SIMD"``, ``"MIMD"``).
+    """
+
+    index: int
+    name: str = field(default="", compare=False)
+    architecture: str = field(default="generic", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"machine index must be >= 0, got {self.index}")
+        if not self.name:
+            object.__setattr__(self, "name", f"m{self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class MachineSet:
+    """An ordered, immutable collection of :class:`Machine` objects.
+
+    Machines must have dense indices ``0..l-1`` in order; this makes the
+    set isomorphic to ``range(l)`` so hot paths can work with bare ints
+    while user-facing APIs can return rich objects.
+    """
+
+    __slots__ = ("_machines",)
+
+    def __init__(self, machines: Iterable[Machine]):
+        ms = tuple(machines)
+        if not ms:
+            raise ValueError("a machine set needs at least one machine")
+        for expect, m in enumerate(ms):
+            if m.index != expect:
+                raise ValueError(
+                    f"machine indices must be dense 0..{len(ms) - 1}; "
+                    f"position {expect} holds index {m.index}"
+                )
+        self._machines = ms
+
+    @classmethod
+    def of_size(cls, l: int, architectures: Sequence[str] = ()) -> "MachineSet":
+        """Build ``l`` default machines, optionally cycling *architectures*."""
+        if l <= 0:
+            raise ValueError(f"machine count must be > 0, got {l}")
+        archs = list(architectures) or ["generic"]
+        return cls(
+            Machine(i, architecture=archs[i % len(archs)]) for i in range(l)
+        )
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self._machines)
+
+    def __getitem__(self, index: int) -> Machine:
+        return self._machines[index]
+
+    def __contains__(self, machine: object) -> bool:
+        return machine in self._machines
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MachineSet):
+            return NotImplemented
+        return self._machines == other._machines
+
+    def __hash__(self) -> int:
+        return hash(self._machines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MachineSet(l={len(self)})"
+
+    @property
+    def indices(self) -> range:
+        """``range(l)`` — handy for hot loops over bare machine ids."""
+        return range(len(self._machines))
+
+    def num_pairs(self) -> int:
+        """Number of unordered machine pairs, ``l(l-1)/2`` (rows of Tr)."""
+        l = len(self._machines)
+        return l * (l - 1) // 2

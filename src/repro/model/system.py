@@ -1,0 +1,82 @@
+"""The heterogeneous computing system: a suite of machines and its network.
+
+The paper (§2) assumes machines are **fully connected** through a
+high-speed network; :class:`HCSystem` therefore carries only the machine
+set plus a topology tag kept for forward compatibility (a
+contention-aware extension would subclass or swap the tag).  All link
+*costs* live in the :class:`~repro.model.matrices.TransferTimeMatrix` of
+the workload, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.model.machine import Machine, MachineSet
+
+#: The only topology the paper's model defines.
+FULLY_CONNECTED = "fully-connected"
+
+
+class HCSystem:
+    """A heterogeneous suite of machines.
+
+    Parameters
+    ----------
+    machines:
+        A :class:`MachineSet` or any iterable of :class:`Machine`.
+    topology:
+        Topology tag; only :data:`FULLY_CONNECTED` is supported by the
+        bundled simulator.
+    """
+
+    __slots__ = ("_machines", "_topology")
+
+    def __init__(
+        self,
+        machines: MachineSet | Iterable[Machine],
+        topology: str = FULLY_CONNECTED,
+    ):
+        if not isinstance(machines, MachineSet):
+            machines = MachineSet(machines)
+        if topology != FULLY_CONNECTED:
+            raise ValueError(
+                f"unsupported topology {topology!r}; the HC model of the "
+                f"paper is {FULLY_CONNECTED!r}"
+            )
+        self._machines = machines
+        self._topology = topology
+
+    @classmethod
+    def of_size(
+        cls, num_machines: int, architectures: Sequence[str] = ()
+    ) -> "HCSystem":
+        """Build a fully connected system of *num_machines* machines."""
+        return cls(MachineSet.of_size(num_machines, architectures))
+
+    @property
+    def machines(self) -> MachineSet:
+        return self._machines
+
+    @property
+    def num_machines(self) -> int:
+        """``l`` — the number of machines."""
+        return len(self._machines)
+
+    @property
+    def topology(self) -> str:
+        return self._topology
+
+    def machine(self, index: int) -> Machine:
+        return self._machines[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HCSystem):
+            return NotImplemented
+        return (
+            self._machines == other._machines
+            and self._topology == other._topology
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HCSystem(l={self.num_machines}, topology={self._topology!r})"

@@ -1,0 +1,119 @@
+"""Schedule quality metrics beyond the raw makespan.
+
+The paper reports only schedule length; these extras (utilisation,
+communication volume, critical-path bounds, speedup) support the analysis
+harness and give downstream users the usual vocabulary of the DAG
+scheduling literature (cf. Braun et al. [4], Topcuoglu et al. [5]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.workload import Workload
+from repro.schedule.simulator import Schedule
+from repro.schedule.timeline import Timeline
+
+
+def communication_volume(workload: Workload, schedule: Schedule) -> float:
+    """Total transfer time actually paid by *schedule*.
+
+    Sum of ``Tr`` entries over data items whose producer and consumer run
+    on different machines (same-machine items are free).
+    """
+    total = 0.0
+    for d in workload.graph.data_items:
+        pm = schedule.machine_of[d.producer]
+        cm = schedule.machine_of[d.consumer]
+        total += workload.comm_time(pm, cm, d.index)
+    return total
+
+
+def critical_path_lower_bound(workload: Workload) -> float:
+    """A makespan lower bound: longest path with best-case times.
+
+    Each subtask contributes its *fastest* execution time and each edge
+    contributes zero communication (the producer and consumer could share
+    a machine).  No schedule can beat this.
+    """
+    graph = workload.graph
+    e = workload.exec_times
+    longest = [0.0] * graph.num_tasks
+    for t in graph.topological_order():
+        best = e.best_time(t)
+        incoming = 0.0
+        for p in graph.predecessors(t):
+            if longest[p] > incoming:
+                incoming = longest[p]
+        longest[t] = incoming + best
+    return max(longest)
+
+
+def machine_load_lower_bound(workload: Workload) -> float:
+    """A second lower bound: total best-case work / number of machines."""
+    total = sum(
+        workload.exec_times.best_time(t) for t in range(workload.num_tasks)
+    )
+    return total / workload.num_machines
+
+
+def makespan_lower_bound(workload: Workload) -> float:
+    """The tighter of the critical-path and machine-load bounds."""
+    return max(
+        critical_path_lower_bound(workload),
+        machine_load_lower_bound(workload),
+    )
+
+
+def normalized_makespan(workload: Workload, makespan: float) -> float:
+    """Makespan divided by its lower bound (>= 1; 1 would be ideal).
+
+    This is the Schedule Length Ratio (SLR) of the heterogeneous
+    scheduling literature, handy for comparing across workloads.
+    """
+    lb = makespan_lower_bound(workload)
+    if lb <= 0:
+        raise ValueError("workload has a non-positive makespan lower bound")
+    return makespan / lb
+
+
+def serial_speedup(workload: Workload, makespan: float) -> float:
+    """Best-machine serial time divided by the schedule's makespan."""
+    if makespan <= 0:
+        raise ValueError(f"makespan must be > 0, got {makespan}")
+    return workload.serial_time_best() / makespan
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """A bundle of quality measures for one schedule."""
+
+    makespan: float
+    normalized_makespan: float
+    speedup: float
+    mean_utilization: float
+    communication_volume: float
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        return "\n".join(
+            [
+                f"makespan              {self.makespan:.2f}",
+                f"normalized makespan   {self.normalized_makespan:.3f} (1.0 = lower bound)",
+                f"speedup vs serial     {self.speedup:.2f}x",
+                f"mean utilization      {self.mean_utilization:.1%}",
+                f"communication volume  {self.communication_volume:.2f}",
+            ]
+        )
+
+
+def compute_metrics(workload: Workload, schedule: Schedule) -> ScheduleMetrics:
+    """Evaluate all bundled metrics for *schedule*."""
+    tl = Timeline(schedule, workload.num_machines)
+    return ScheduleMetrics(
+        makespan=schedule.makespan,
+        normalized_makespan=normalized_makespan(workload, schedule.makespan),
+        speedup=serial_speedup(workload, schedule.makespan),
+        mean_utilization=tl.mean_utilization(),
+        communication_volume=communication_volume(workload, schedule),
+    )

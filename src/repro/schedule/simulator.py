@@ -1,0 +1,205 @@
+"""Deterministic schedule evaluation: string -> start/finish times.
+
+This is the cost function of every algorithm in the library (SE's ``Ci``,
+the GA's fitness, every baseline's makespan), called hundreds of thousands
+of times per experiment, so it is written for speed per the profiling
+guidance in the HPC coding guides:
+
+* all matrix data is converted to nested Python lists once at construction
+  (scalar indexing into small numpy arrays costs ~10x a list index),
+* the evaluation loop binds every attribute to a local,
+* machine-pair rows of ``Tr`` are computed inline with integer arithmetic.
+
+Semantics (paper §2 + §4.1, matching Wang et al.'s model):
+
+* subtasks execute in string order on their assigned machine,
+  non-preemptively and without insertion;
+* a subtask may start once (a) its machine has finished the previous
+  subtask in string order, and (b) every input data item has arrived —
+  producer finish time plus ``Tr`` transfer time when producer and
+  consumer machines differ, zero otherwise;
+* links are contention-free (fully connected network), so transfers
+  start the moment the producer finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.model.graph import TaskGraph
+from repro.model.workload import Workload
+from repro.schedule.encoding import ScheduleString
+
+
+class InvalidScheduleError(ValueError):
+    """Raised when a string violates the DAG's precedence constraints."""
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A fully evaluated schedule.
+
+    Attributes
+    ----------
+    order:
+        The subtask string order that produced this schedule.
+    machine_of:
+        Machine assignment per subtask.
+    start, finish:
+        Start/finish time per subtask (indexed by subtask id).
+    makespan:
+        Total execution time of the application — the paper's objective.
+    """
+
+    order: tuple[int, ...]
+    machine_of: tuple[int, ...]
+    start: tuple[float, ...]
+    finish: tuple[float, ...]
+    makespan: float
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.order)
+
+    def machine_sequence(self, machine: int) -> list[int]:
+        """Subtasks run on *machine* in execution order."""
+        return [t for t in self.order if self.machine_of[t] == machine]
+
+
+class Simulator:
+    """Reusable evaluation context for one :class:`Workload`.
+
+    Build once per workload, then call :meth:`makespan` /
+    :meth:`evaluate` as often as needed.
+    """
+
+    __slots__ = ("_workload", "_k", "_l", "_E", "_tr", "_in_edges")
+
+    def __init__(self, workload: Workload):
+        self._workload = workload
+        graph = workload.graph
+        self._k = graph.num_tasks
+        self._l = workload.num_machines
+        self._E = workload.exec_times.values.tolist()
+        self._tr = workload.transfer_times.values.tolist()
+        # Per consumer: tuple of (producer, item) pairs, the data inputs.
+        in_edges: list[list[tuple[int, int]]] = [[] for _ in range(self._k)]
+        for d in graph.data_items:
+            in_edges[d.consumer].append((d.producer, d.index))
+        self._in_edges = [tuple(es) for es in in_edges]
+
+    @property
+    def workload(self) -> Workload:
+        return self._workload
+
+    # ------------------------------------------------------------------
+    # hot path
+    # ------------------------------------------------------------------
+
+    def makespan(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> float:
+        """Makespan of the schedule encoded by *order* / *machine_of*.
+
+        Raises
+        ------
+        InvalidScheduleError
+            If *order* places a consumer before one of its producers.
+        """
+        E = self._E
+        tr = self._tr
+        in_edges = self._in_edges
+        l = self._l
+        finish = [-1.0] * self._k
+        machine_avail = [0.0] * l
+        span = 0.0
+
+        for task in order:
+            m = machine_of[task]
+            ready = machine_avail[m]
+            for prod, item in in_edges[task]:
+                pf = finish[prod]
+                if pf < 0.0:
+                    raise InvalidScheduleError(
+                        f"subtask {task} scheduled before its producer {prod}"
+                    )
+                pm = machine_of[prod]
+                if pm != m:
+                    if pm < m:
+                        row = pm * l - pm * (pm + 1) // 2 + (m - pm - 1)
+                    else:
+                        row = m * l - m * (m + 1) // 2 + (pm - m - 1)
+                    pf += tr[row][item]
+                if pf > ready:
+                    ready = pf
+            fin = ready + E[m][task]
+            finish[task] = fin
+            machine_avail[m] = fin
+            if fin > span:
+                span = fin
+        return span
+
+    def evaluate(self, string: ScheduleString) -> Schedule:
+        """Full evaluation of *string* with per-task start/finish times."""
+        order = string.order
+        machine_of = string.machines
+        E = self._E
+        tr = self._tr
+        in_edges = self._in_edges
+        l = self._l
+        k = self._k
+        start = [0.0] * k
+        finish = [-1.0] * k
+        machine_avail = [0.0] * l
+        span = 0.0
+
+        for task in order:
+            m = machine_of[task]
+            ready = machine_avail[m]
+            for prod, item in in_edges[task]:
+                pf = finish[prod]
+                if pf < 0.0:
+                    raise InvalidScheduleError(
+                        f"subtask {task} scheduled before its producer {prod}"
+                    )
+                pm = machine_of[prod]
+                if pm != m:
+                    if pm < m:
+                        row = pm * l - pm * (pm + 1) // 2 + (m - pm - 1)
+                    else:
+                        row = m * l - m * (m + 1) // 2 + (pm - m - 1)
+                    pf += tr[row][item]
+                if pf > ready:
+                    ready = pf
+            start[task] = ready
+            fin = ready + E[m][task]
+            finish[task] = fin
+            machine_avail[m] = fin
+            if fin > span:
+                span = fin
+
+        return Schedule(
+            order=tuple(order),
+            machine_of=tuple(machine_of),
+            start=tuple(start),
+            finish=tuple(finish),
+            makespan=span,
+        )
+
+    def finish_times(self, string: ScheduleString) -> list[float]:
+        """Per-subtask finish times — SE's ``Ci`` values (paper §4.3)."""
+        return list(self.evaluate(string).finish)
+
+    def string_makespan(self, string: ScheduleString) -> float:
+        """Makespan of a :class:`ScheduleString` (thin convenience)."""
+        return self.makespan(string.order, string.machines)
+
+
+def evaluate_schedule(workload: Workload, string: ScheduleString) -> Schedule:
+    """One-shot evaluation (builds a throwaway :class:`Simulator`).
+
+    Prefer constructing a :class:`Simulator` when evaluating many strings
+    against the same workload.
+    """
+    return Simulator(workload).evaluate(string)

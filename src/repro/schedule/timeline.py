@@ -1,0 +1,165 @@
+"""Per-machine timeline (Gantt) views of an evaluated schedule.
+
+Used for reporting (ASCII Gantt charts in examples / the CLI) and for
+consistency checking: :func:`verify_schedule` re-derives every constraint
+of the model from a :class:`~repro.schedule.simulator.Schedule` and raises
+if any is violated.  The property-based tests run it against schedules
+produced by every algorithm in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model.workload import Workload
+from repro.schedule.simulator import Schedule
+
+#: Tolerance for floating-point comparisons of times.
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class MachineSpan:
+    """One subtask's occupancy of a machine."""
+
+    task: int
+    machine: int
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+class Timeline:
+    """Per-machine ordered spans of one schedule."""
+
+    __slots__ = ("_spans", "_num_machines", "_makespan")
+
+    def __init__(self, schedule: Schedule, num_machines: int):
+        spans: list[list[MachineSpan]] = [[] for _ in range(num_machines)]
+        for t in schedule.order:
+            m = schedule.machine_of[t]
+            spans[m].append(
+                MachineSpan(
+                    task=t,
+                    machine=m,
+                    start=schedule.start[t],
+                    finish=schedule.finish[t],
+                )
+            )
+        self._spans = tuple(tuple(s) for s in spans)
+        self._num_machines = num_machines
+        self._makespan = schedule.makespan
+
+    @property
+    def num_machines(self) -> int:
+        return self._num_machines
+
+    @property
+    def makespan(self) -> float:
+        return self._makespan
+
+    def spans(self, machine: int) -> tuple[MachineSpan, ...]:
+        """Spans on *machine* in execution order."""
+        return self._spans[machine]
+
+    def busy_time(self, machine: int) -> float:
+        """Total computing time on *machine*."""
+        return sum(s.duration for s in self._spans[machine])
+
+    def idle_time(self, machine: int) -> float:
+        """Makespan minus busy time on *machine*."""
+        return self._makespan - self.busy_time(machine)
+
+    def utilization(self, machine: int) -> float:
+        """Busy fraction of *machine* over the makespan (0 if makespan 0)."""
+        if self._makespan <= 0:
+            return 0.0
+        return self.busy_time(machine) / self._makespan
+
+    def mean_utilization(self) -> float:
+        """Average utilisation over all machines."""
+        return sum(
+            self.utilization(m) for m in range(self._num_machines)
+        ) / self._num_machines
+
+    def render_ascii(self, width: int = 72) -> str:
+        """A fixed-width ASCII Gantt chart (one row per machine)."""
+        if self._makespan <= 0:
+            return "\n".join(
+                f"m{m:<3}|" for m in range(self._num_machines)
+            )
+        scale = width / self._makespan
+        lines = []
+        for m in range(self._num_machines):
+            row = [" "] * width
+            for s in self._spans[m]:
+                a = min(width - 1, int(s.start * scale))
+                b = min(width, max(a + 1, int(s.finish * scale)))
+                label = f"{s.task}"
+                for i in range(a, b):
+                    row[i] = "#"
+                # overlay the task id at the left edge of its block
+                for j, ch in enumerate(label):
+                    if a + j < width:
+                        row[a + j] = ch
+            lines.append(f"m{m:<3}|{''.join(row)}|")
+        lines.append(f"     0{' ' * (width - 12)}{self._makespan:>10.1f}")
+        return "\n".join(lines)
+
+
+def verify_schedule(
+    workload: Workload, schedule: Schedule, eps: float = EPS
+) -> None:
+    """Check every model constraint; raise ``AssertionError`` on violation.
+
+    Verified properties:
+
+    1. every subtask appears exactly once, with a valid machine;
+    2. durations equal ``E[machine, task]``;
+    3. subtasks on one machine do not overlap and follow string order;
+    4. no subtask starts before each input item has arrived
+       (producer finish + transfer time when machines differ);
+    5. the recorded makespan equals the max finish time.
+    """
+    k = workload.num_tasks
+    assert sorted(schedule.order) == list(range(k)), "order is not a permutation"
+    assert len(schedule.machine_of) == k, "machine_of has wrong length"
+    for t in range(k):
+        m = schedule.machine_of[t]
+        assert 0 <= m < workload.num_machines, f"bad machine {m} for task {t}"
+        dur = schedule.finish[t] - schedule.start[t]
+        expected = workload.exec_time(m, t)
+        assert abs(dur - expected) <= eps, (
+            f"task {t} runs for {dur}, expected E[{m},{t}]={expected}"
+        )
+        assert schedule.start[t] >= -eps, f"task {t} starts before time 0"
+
+    # machine exclusivity + string order
+    tl = Timeline(schedule, workload.num_machines)
+    for m in range(workload.num_machines):
+        prev_finish = 0.0
+        for span in tl.spans(m):
+            assert span.start >= prev_finish - eps, (
+                f"task {span.task} overlaps previous task on machine {m}"
+            )
+            prev_finish = span.finish
+
+    # data arrival
+    for d in workload.graph.data_items:
+        pm = schedule.machine_of[d.producer]
+        cm = schedule.machine_of[d.consumer]
+        arrival = schedule.finish[d.producer] + workload.comm_time(
+            pm, cm, d.index
+        )
+        assert schedule.start[d.consumer] >= arrival - eps, (
+            f"task {d.consumer} starts at {schedule.start[d.consumer]} "
+            f"before item {d.index} arrives at {arrival}"
+        )
+
+    assert abs(schedule.makespan - max(schedule.finish)) <= eps, (
+        "makespan does not equal the max finish time"
+    )

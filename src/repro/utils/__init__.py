@@ -1,0 +1,32 @@
+"""Shared utilities: deterministic RNG handling, validation helpers, timers."""
+
+from repro.utils.rng import (
+    RandomSource,
+    as_rng,
+    random_permutation,
+    spawn_rngs,
+    weighted_choice,
+)
+from repro.utils.timers import Stopwatch, TimeBudget
+from repro.utils.validation import (
+    check_fraction_range,
+    check_index,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RandomSource",
+    "as_rng",
+    "random_permutation",
+    "spawn_rngs",
+    "weighted_choice",
+    "Stopwatch",
+    "TimeBudget",
+    "check_fraction_range",
+    "check_index",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+]

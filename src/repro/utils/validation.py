@@ -1,0 +1,51 @@
+"""Small argument-validation helpers used across the library.
+
+These raise early with actionable messages instead of letting bad values
+propagate into the schedule simulator, where they would surface as cryptic
+index errors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def check_positive(name: str, value: float) -> float:
+    """Ensure *value* > 0, returning it for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Ensure *value* >= 0, returning it for chaining."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure *value* lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_index(name: str, value: int, size: int) -> int:
+    """Ensure *value* is a valid index into a container of length *size*."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if not 0 <= value < size:
+        raise IndexError(f"{name} must be in [0, {size}), got {value}")
+    return value
+
+
+def check_fraction_range(
+    name: str, lo: float, hi: float, hi_name: Optional[str] = None
+) -> None:
+    """Ensure ``0 <= lo <= hi`` for a pair of range parameters."""
+    hi_name = hi_name or f"{name}_hi"
+    if lo < 0:
+        raise ValueError(f"{name} must be >= 0, got {lo!r}")
+    if hi < lo:
+        raise ValueError(f"{hi_name} ({hi!r}) must be >= {name} ({lo!r})")

@@ -1,0 +1,66 @@
+"""Random workload generation along the paper's axes (§5).
+
+Connectivity (:mod:`~repro.workloads.generator`), heterogeneity
+(:mod:`~repro.workloads.heterogeneity`), CCR (:mod:`~repro.workloads.ccr`),
+plus named presets for every paper experiment
+(:mod:`~repro.workloads.presets`) and grid suites
+(:mod:`~repro.workloads.suite`).
+"""
+
+from repro.workloads.ccr import CCR_CLASSES, ccr_class, transfer_matrix
+from repro.workloads.generator import (
+    CONNECTIVITY_EDGES_PER_TASK,
+    chain_dag,
+    fork_join_dag,
+    gnp_dag,
+    layered_dag,
+)
+from repro.workloads.heterogeneity import (
+    HETEROGENEITY_FACTOR,
+    execution_matrix,
+    heterogeneity_factor,
+)
+from repro.workloads.presets import (
+    WorkloadSpec,
+    build_workload,
+    figure3_workload,
+    figure4a_workload,
+    figure4b_workload,
+    figure5_workload,
+    figure6_workload,
+    figure7_workload,
+    small_workload,
+)
+from repro.workloads.suite import (
+    SuiteCell,
+    WorkloadSuite,
+    paper_comparison_suite,
+    smoke_suite,
+)
+
+__all__ = [
+    "CCR_CLASSES",
+    "ccr_class",
+    "transfer_matrix",
+    "CONNECTIVITY_EDGES_PER_TASK",
+    "chain_dag",
+    "fork_join_dag",
+    "gnp_dag",
+    "layered_dag",
+    "HETEROGENEITY_FACTOR",
+    "execution_matrix",
+    "heterogeneity_factor",
+    "WorkloadSpec",
+    "build_workload",
+    "figure3_workload",
+    "figure4a_workload",
+    "figure4b_workload",
+    "figure5_workload",
+    "figure6_workload",
+    "figure7_workload",
+    "small_workload",
+    "SuiteCell",
+    "WorkloadSuite",
+    "paper_comparison_suite",
+    "smoke_suite",
+]

@@ -1,0 +1,104 @@
+"""Execution-time matrix generation with controlled heterogeneity (paper §5).
+
+The paper classifies workloads by "the degree of heterogeneity of
+subtasks, which defines the difference in execution times of subtasks on
+the different machines".  We use the *range-based* method of Braun et
+al. [4]:
+
+    E[m, t] = tau_t * u_{m,t}
+
+where ``tau_t ~ U(task_range)`` is the task's intrinsic cost and
+``u_{m,t} ~ U(1, machine_factor)`` spreads it across machines.  The
+``machine_factor`` maps the qualitative classes:
+
+* low    → 1.1   (≈3% mean coefficient of variation)
+* medium → 3.0   (machine choice matters)
+* high   → 10.0  (wrong machine = order-of-magnitude penalty)
+
+Two consistency modes:
+
+* ``inconsistent`` (default, matching the general HC setting): ``u`` is
+  drawn independently per (machine, task) — a machine can be fast for
+  one subtask and slow for another (SIMD vs MIMD vs FFT engines).
+* ``consistent``: one speed factor per machine applied to every task —
+  machines form a strict speed hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.model.matrices import ExecutionTimeMatrix
+from repro.utils.rng import RandomSource, as_rng
+
+Consistency = Literal["inconsistent", "consistent"]
+
+#: Mapping of the paper's qualitative heterogeneity classes to the
+#: range-based machine factor.
+HETEROGENEITY_FACTOR = {"low": 1.1, "medium": 3.0, "high": 10.0}
+
+
+def execution_matrix(
+    num_machines: int,
+    num_tasks: int,
+    machine_factor: float = 3.0,
+    task_range: tuple[float, float] = (10.0, 100.0),
+    consistency: Consistency = "inconsistent",
+    seed: RandomSource = None,
+) -> ExecutionTimeMatrix:
+    """Generate an ``l x k`` execution-time matrix.
+
+    Parameters
+    ----------
+    num_machines, num_tasks:
+        ``l`` and ``k``.
+    machine_factor:
+        Upper bound of the per-machine multiplier ``u ~ U(1, factor)``;
+        must be >= 1.  See :data:`HETEROGENEITY_FACTOR` for the class
+        mapping.
+    task_range:
+        Range of the intrinsic task cost ``tau``.
+    consistency:
+        ``"inconsistent"`` (independent per cell) or ``"consistent"``
+        (one factor per machine).
+    seed:
+        Randomness source.
+    """
+    if num_machines < 1 or num_tasks < 1:
+        raise ValueError(
+            f"need at least one machine and one task, got "
+            f"l={num_machines}, k={num_tasks}"
+        )
+    if machine_factor < 1.0:
+        raise ValueError(
+            f"machine_factor must be >= 1, got {machine_factor}"
+        )
+    lo, hi = task_range
+    if lo <= 0 or hi < lo:
+        raise ValueError(
+            f"task_range must satisfy 0 < lo <= hi, got {task_range}"
+        )
+    rng = as_rng(seed)
+
+    tau = rng.uniform(lo, hi, size=num_tasks)
+    if consistency == "inconsistent":
+        u = rng.uniform(1.0, machine_factor, size=(num_machines, num_tasks))
+    elif consistency == "consistent":
+        speed = rng.uniform(1.0, machine_factor, size=num_machines)
+        u = np.repeat(speed[:, None], num_tasks, axis=1)
+    else:
+        raise ValueError(f"unknown consistency {consistency!r}")
+    return ExecutionTimeMatrix(tau[None, :] * u)
+
+
+def heterogeneity_factor(level: str) -> float:
+    """Resolve a qualitative level name to its machine factor."""
+    try:
+        return HETEROGENEITY_FACTOR[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown heterogeneity level {level!r}; "
+            f"expected one of {sorted(HETEROGENEITY_FACTOR)}"
+        ) from None

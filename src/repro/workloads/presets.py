@@ -1,0 +1,221 @@
+"""Named workload presets matching the paper's experiments (§5).
+
+:class:`WorkloadSpec` is the declarative recipe — size, connectivity,
+heterogeneity, CCR, seed — and :func:`build_workload` turns it into a
+concrete :class:`~repro.model.workload.Workload`.  The ``figureN_*``
+helpers pin the parameters the paper states for each experiment:
+
+* Fig. 3: "workload of large size and high connectivity";
+* Fig. 4a/4b: "large size" with low / high heterogeneity, 20 machines
+  (so the studied Y values 5, 9, 12 make sense);
+* Figs. 5-7: "100 tasks and 20 machines" with high connectivity /
+  CCR = 1 / (low connectivity, low heterogeneity, CCR = 0.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.model.system import HCSystem
+from repro.model.workload import Workload, WorkloadClass
+from repro.utils.rng import RandomSource, spawn_rngs
+from repro.workloads.ccr import transfer_matrix
+from repro.workloads.generator import CONNECTIVITY_EDGES_PER_TASK, layered_dag
+from repro.workloads.heterogeneity import execution_matrix, heterogeneity_factor
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative workload recipe along the paper's three axes.
+
+    Attributes
+    ----------
+    num_tasks, num_machines:
+        Problem size (``k``, ``l``).
+    connectivity:
+        ``"low" | "medium" | "high"`` — mean incoming data items per
+        subtask (1 / 2 / 4).
+    heterogeneity:
+        ``"low" | "medium" | "high"`` — range-based machine factor
+        (1.1 / 3 / 10).
+    ccr:
+        Numeric communication-to-cost target.
+    consistency:
+        Execution-matrix consistency mode (see
+        :mod:`repro.workloads.heterogeneity`).
+    seed:
+        Randomness source for the whole build (graph, E, Tr derive
+        independent child streams, so e.g. changing only CCR keeps the
+        same DAG).
+    name:
+        Optional label for reports.
+    """
+
+    num_tasks: int = 100
+    num_machines: int = 20
+    connectivity: str = "medium"
+    heterogeneity: str = "medium"
+    ccr: float = 0.5
+    consistency: str = "inconsistent"
+    seed: RandomSource = None
+    name: str = ""
+
+    def size_class(self) -> str:
+        """The paper's small/large vocabulary (threshold at 50 subtasks)."""
+        return "small" if self.num_tasks < 50 else "large"
+
+    def with_seed(self, seed: RandomSource) -> "WorkloadSpec":
+        return replace(self, seed=seed)
+
+
+def build_workload(spec: WorkloadSpec) -> Workload:
+    """Materialise *spec* into a :class:`Workload`."""
+    if spec.connectivity not in CONNECTIVITY_EDGES_PER_TASK:
+        raise ValueError(
+            f"unknown connectivity {spec.connectivity!r}; expected one of "
+            f"{sorted(CONNECTIVITY_EDGES_PER_TASK)}"
+        )
+    rng_graph, rng_exec, rng_tr = spawn_rngs(spec.seed, 3)
+
+    graph = layered_dag(
+        spec.num_tasks,
+        edges_per_task=CONNECTIVITY_EDGES_PER_TASK[spec.connectivity],
+        seed=rng_graph,
+    )
+    e = execution_matrix(
+        spec.num_machines,
+        spec.num_tasks,
+        machine_factor=heterogeneity_factor(spec.heterogeneity),
+        consistency=spec.consistency,  # type: ignore[arg-type]
+        seed=rng_exec,
+    )
+    tr = transfer_matrix(graph, e, spec.ccr, seed=rng_tr)
+    system = HCSystem.of_size(spec.num_machines)
+    name = spec.name or (
+        f"k{spec.num_tasks}-l{spec.num_machines}-{spec.connectivity}conn-"
+        f"{spec.heterogeneity}het-ccr{spec.ccr:g}"
+    )
+    return Workload(
+        graph,
+        system,
+        e,
+        tr,
+        classification=WorkloadClass(
+            connectivity=spec.connectivity,
+            heterogeneity=spec.heterogeneity,
+            ccr=spec.ccr,
+            size=spec.size_class(),
+        ),
+        name=name,
+    )
+
+
+# ----------------------------------------------------------------------
+# paper-experiment presets
+# ----------------------------------------------------------------------
+
+
+def small_workload(seed: RandomSource = None) -> Workload:
+    """A small instance (20 tasks, 5 machines) for quick studies/tests."""
+    return build_workload(
+        WorkloadSpec(
+            num_tasks=20,
+            num_machines=5,
+            connectivity="medium",
+            heterogeneity="medium",
+            ccr=0.5,
+            seed=seed,
+            name="small-medium",
+        )
+    )
+
+
+def figure3_workload(seed: RandomSource = None) -> Workload:
+    """Fig. 3 (§5.1): large size, high connectivity."""
+    return build_workload(
+        WorkloadSpec(
+            num_tasks=100,
+            num_machines=20,
+            connectivity="high",
+            heterogeneity="medium",
+            ccr=0.5,
+            seed=seed,
+            name="fig3-large-highconn",
+        )
+    )
+
+
+def figure4a_workload(seed: RandomSource = None) -> Workload:
+    """Fig. 4a (§5.2): large size, LOW heterogeneity, 20 machines."""
+    return build_workload(
+        WorkloadSpec(
+            num_tasks=100,
+            num_machines=20,
+            connectivity="medium",
+            heterogeneity="low",
+            ccr=0.5,
+            seed=seed,
+            name="fig4a-lowhet",
+        )
+    )
+
+
+def figure4b_workload(seed: RandomSource = None) -> Workload:
+    """Fig. 4b (§5.2): large size, HIGH heterogeneity, 20 machines."""
+    return build_workload(
+        WorkloadSpec(
+            num_tasks=100,
+            num_machines=20,
+            connectivity="medium",
+            heterogeneity="high",
+            ccr=0.5,
+            seed=seed,
+            name="fig4b-highhet",
+        )
+    )
+
+
+def figure5_workload(seed: RandomSource = None) -> Workload:
+    """Fig. 5 (§5.3): 100 tasks, 20 machines, high connectivity."""
+    return build_workload(
+        WorkloadSpec(
+            num_tasks=100,
+            num_machines=20,
+            connectivity="high",
+            heterogeneity="medium",
+            ccr=0.5,
+            seed=seed,
+            name="fig5-highconn",
+        )
+    )
+
+
+def figure6_workload(seed: RandomSource = None) -> Workload:
+    """Fig. 6 (§5.3): 100 tasks, 20 machines, CCR = 1."""
+    return build_workload(
+        WorkloadSpec(
+            num_tasks=100,
+            num_machines=20,
+            connectivity="medium",
+            heterogeneity="medium",
+            ccr=1.0,
+            seed=seed,
+            name="fig6-ccr1",
+        )
+    )
+
+
+def figure7_workload(seed: RandomSource = None) -> Workload:
+    """Fig. 7 (§5.3): low connectivity, low heterogeneity, CCR = 0.1."""
+    return build_workload(
+        WorkloadSpec(
+            num_tasks=100,
+            num_machines=20,
+            connectivity="low",
+            heterogeneity="low",
+            ccr=0.1,
+            seed=seed,
+            name="fig7-loweverything",
+        )
+    )

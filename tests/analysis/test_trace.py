@@ -1,0 +1,120 @@
+"""Unit tests for convergence traces."""
+
+import math
+
+import pytest
+
+from repro.analysis.trace import ConvergenceTrace, IterationRecord, downsample
+
+
+def make_trace(n=5):
+    t = ConvergenceTrace()
+    for i in range(1, n + 1):
+        t.append(
+            IterationRecord(
+                iteration=i,
+                current_makespan=100.0 - i,
+                best_makespan=100.0 - i,
+                num_selected=n - i,
+                elapsed_seconds=0.1 * i,
+                mean_goodness=0.5,
+                evaluations=10 * i,
+            )
+        )
+    return t
+
+
+class TestAppendAndAccess:
+    def test_length(self):
+        assert len(make_trace(5)) == 5
+
+    def test_getitem(self):
+        t = make_trace(3)
+        assert t[0].iteration == 1
+        assert t[-1].iteration == 3
+
+    def test_iteration_must_increase(self):
+        t = make_trace(2)
+        with pytest.raises(ValueError, match="increase"):
+            t.append(
+                IterationRecord(
+                    iteration=2, current_makespan=1.0, best_makespan=1.0
+                )
+            )
+
+    def test_construct_from_records(self):
+        t = make_trace(3)
+        t2 = ConvergenceTrace(t.records)
+        assert len(t2) == 3
+
+
+class TestSeries:
+    def test_iterations(self):
+        assert make_trace(3).iterations() == [1, 2, 3]
+
+    def test_selected_counts(self):
+        assert make_trace(3).selected_counts() == [2, 1, 0]
+
+    def test_selected_counts_requires_values(self):
+        t = ConvergenceTrace()
+        t.append(IterationRecord(iteration=1, current_makespan=1.0, best_makespan=1.0))
+        with pytest.raises(ValueError, match="num_selected"):
+            t.selected_counts()
+
+    def test_makespans(self):
+        t = make_trace(3)
+        assert t.current_makespans() == [99.0, 98.0, 97.0]
+        assert t.best_makespans() == [99.0, 98.0, 97.0]
+
+    def test_elapsed(self):
+        assert make_trace(2).elapsed() == pytest.approx([0.1, 0.2])
+
+    def test_final_best(self):
+        assert make_trace(4).final_best() == 96.0
+
+    def test_final_best_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ConvergenceTrace().final_best()
+
+    def test_improvement_ratio(self):
+        assert make_trace(2).improvement_ratio() == pytest.approx(99.0 / 98.0)
+
+    def test_to_rows(self):
+        rows = make_trace(2).to_rows()
+        assert rows[0]["iteration"] == 1
+        assert rows[1]["best_makespan"] == 98.0
+
+
+class TestBestAtTime:
+    def test_before_first_record_inf(self):
+        t = make_trace(3)
+        assert math.isinf(t.best_at_time(0.05))
+
+    def test_interior_point(self):
+        t = make_trace(5)
+        assert t.best_at_time(0.25) == 98.0  # records at 0.1 and 0.2 seen
+
+    def test_after_end(self):
+        t = make_trace(5)
+        assert t.best_at_time(100.0) == 95.0
+
+
+class TestDownsample:
+    def test_short_trace_unchanged(self):
+        t = make_trace(3)
+        assert len(downsample(t, 10)) == 3
+
+    def test_thins_to_max_points(self):
+        t = make_trace(100)
+        d = downsample(t, 10)
+        assert len(d) <= 10
+
+    def test_keeps_endpoints(self):
+        t = make_trace(100)
+        d = downsample(t, 10)
+        assert d[0].iteration == 1
+        assert d[-1].iteration == 100
+
+    def test_min_points_validated(self):
+        with pytest.raises(ValueError, match="max_points"):
+            downsample(make_trace(5), 1)

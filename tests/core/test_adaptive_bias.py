@@ -1,0 +1,111 @@
+"""Unit tests for the adaptive-bias extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import SEConfig, run_se
+from repro.core.selection import (
+    bias_for_target_fraction,
+    expected_selection_fraction,
+)
+
+
+class TestBiasForTargetFraction:
+    def test_hits_target_on_spread_goodness(self):
+        g = np.linspace(0.1, 0.9, 50)
+        for target in (0.05, 0.2, 0.5):
+            b = bias_for_target_fraction(g, target)
+            assert expected_selection_fraction(g, b) == pytest.approx(
+                target, abs=1e-4
+            )
+
+    def test_saturated_goodness_gets_negative_bias(self):
+        """The motivating case: goodness ~0.97 with target 10% selection
+        needs a clearly negative bias."""
+        g = np.full(100, 0.97)
+        b = bias_for_target_fraction(g, 0.10)
+        assert b < 0
+        assert expected_selection_fraction(g, b) == pytest.approx(0.10, abs=1e-4)
+
+    def test_unreachable_target_clamps_low(self):
+        # goodness all zero: fraction at B=-1 is 1.0; target 1.0 needs B<=-... reachable
+        g = np.zeros(10)
+        b = bias_for_target_fraction(g, 1.0)
+        assert expected_selection_fraction(g, b) == pytest.approx(1.0, abs=1e-4)
+
+    def test_tiny_target_clamps_high(self):
+        g = np.zeros(10)
+        b = bias_for_target_fraction(g, 0.001)
+        # B = +1 makes fraction 0, which is the closest achievable side
+        assert b <= 1.0
+        assert expected_selection_fraction(g, b) <= 0.002
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            bias_for_target_fraction(np.zeros(3), 0.0)
+        with pytest.raises(ValueError, match="target"):
+            bias_for_target_fraction(np.zeros(3), 1.5)
+
+    def test_monotone_in_target(self):
+        g = np.linspace(0.2, 0.8, 30)
+        b_small = bias_for_target_fraction(g, 0.05)
+        b_large = bias_for_target_fraction(g, 0.5)
+        assert b_large < b_small  # more selection needs lower bias
+
+
+class TestAdaptiveEngine:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="adaptive_target"):
+            SEConfig(adaptive_target=0.0)
+        with pytest.raises(ValueError, match="adaptive_target"):
+            SEConfig(adaptive_target=1.5)
+        SEConfig(adaptive_target=0.15)  # ok
+
+    def test_selection_fraction_held_steady(self, tiny_workload):
+        """With adaptive target 25%, the mean selected fraction across
+        iterations should sit near 25% — unlike fixed positive bias,
+        which decays toward zero as goodness saturates."""
+        res = run_se(
+            tiny_workload,
+            SEConfig(seed=3, max_iterations=40, adaptive_target=0.25),
+        )
+        sel = res.trace.selected_counts()
+        mean_fraction = sum(sel) / (len(sel) * tiny_workload.num_tasks)
+        assert mean_fraction == pytest.approx(0.25, abs=0.08)
+
+    def test_fixed_positive_bias_decays_adaptive_does_not(self, tiny_workload):
+        fixed = run_se(
+            tiny_workload,
+            SEConfig(seed=3, max_iterations=40, selection_bias=0.1),
+        )
+        adaptive = run_se(
+            tiny_workload,
+            SEConfig(seed=3, max_iterations=40, adaptive_target=0.25),
+        )
+        late_fixed = sum(fixed.trace.selected_counts()[-10:])
+        late_adaptive = sum(adaptive.trace.selected_counts()[-10:])
+        assert late_adaptive > late_fixed
+
+    def test_deterministic(self, tiny_workload):
+        cfg = SEConfig(seed=4, max_iterations=15, adaptive_target=0.2)
+        a = run_se(tiny_workload, cfg)
+        b = run_se(tiny_workload, cfg)
+        assert a.best_makespan == b.best_makespan
+        assert a.trace.selected_counts() == b.trace.selected_counts()
+
+    def test_valid_verified_result(self, tiny_workload):
+        from repro.schedule import is_valid_for, verify_schedule
+
+        res = run_se(
+            tiny_workload,
+            SEConfig(seed=5, max_iterations=20, adaptive_target=0.3),
+        )
+        assert is_valid_for(res.best_string, tiny_workload.graph)
+        verify_schedule(tiny_workload, res.best_schedule)
+
+    def test_reported_bias_is_last_used(self, tiny_workload):
+        res = run_se(
+            tiny_workload,
+            SEConfig(seed=5, max_iterations=10, adaptive_target=0.3),
+        )
+        assert -1.0 <= res.bias <= 1.0

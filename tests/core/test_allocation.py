@@ -1,0 +1,125 @@
+"""Unit tests for the SE allocation step (paper §4.5)."""
+
+import pytest
+
+from repro.core.allocation import Allocator
+from repro.schedule.encoding import is_valid_for
+from repro.schedule.operations import random_valid_string
+from repro.schedule.simulator import Simulator
+
+
+@pytest.fixture
+def sim(tiny_workload):
+    return Simulator(tiny_workload)
+
+
+@pytest.fixture
+def allocator(tiny_workload, sim):
+    return Allocator(tiny_workload, sim, y_candidates=tiny_workload.num_machines)
+
+
+class TestAllocatorValidation:
+    def test_y_zero_rejected(self, tiny_workload, sim):
+        with pytest.raises(ValueError, match="y_candidates"):
+            Allocator(tiny_workload, sim, y_candidates=0)
+
+    def test_y_above_machine_count_rejected(self, tiny_workload, sim):
+        with pytest.raises(ValueError, match="y_candidates"):
+            Allocator(tiny_workload, sim, y_candidates=99)
+
+    def test_unknown_slot_strategy_rejected(self, tiny_workload, sim):
+        with pytest.raises(ValueError, match="slot"):
+            Allocator(tiny_workload, sim, y_candidates=2, slots="bogus")
+
+
+class TestAllocate:
+    def test_empty_selection_is_noop(self, tiny_workload, sim, allocator):
+        s = random_valid_string(tiny_workload.graph, tiny_workload.num_machines, 1)
+        before = s.pairs()
+        result = allocator.allocate(s, [])
+        assert s.pairs() == before
+        assert result.moved == 0
+        assert result.makespan == sim.string_makespan(s)
+
+    def test_preserves_validity(self, tiny_workload, allocator):
+        s = random_valid_string(tiny_workload.graph, tiny_workload.num_machines, 2)
+        allocator.allocate(s, list(range(tiny_workload.num_tasks)))
+        assert is_valid_for(s, tiny_workload.graph)
+
+    def test_never_worsens_with_full_y(self, tiny_workload, sim, allocator):
+        """With Y = l the current location is among the candidates, so
+        relocating any single subtask cannot increase the makespan."""
+        s = random_valid_string(tiny_workload.graph, tiny_workload.num_machines, 3)
+        before = sim.string_makespan(s)
+        result = allocator.allocate(s, [5])
+        assert result.makespan <= before + 1e-9
+
+    def test_usually_improves_random_string(self, tiny_workload, sim, allocator):
+        s = random_valid_string(tiny_workload.graph, tiny_workload.num_machines, 4)
+        before = sim.string_makespan(s)
+        result = allocator.allocate(s, list(range(tiny_workload.num_tasks)))
+        assert result.makespan < before  # full greedy pass on a random string
+
+    def test_trials_counted(self, tiny_workload, allocator):
+        s = random_valid_string(tiny_workload.graph, tiny_workload.num_machines, 5)
+        result = allocator.allocate(s, [0, 1, 2])
+        assert result.trials >= 3  # at least one probe per selected task
+
+    def test_small_y_restricts_machines(self, tiny_workload, sim):
+        """With Y=1 every relocated subtask lands on its best machine."""
+        e = tiny_workload.exec_times
+        alloc = Allocator(tiny_workload, sim, y_candidates=1)
+        s = random_valid_string(tiny_workload.graph, tiny_workload.num_machines, 6)
+        tasks = list(range(tiny_workload.num_tasks))
+        alloc.allocate(s, tasks)
+        for t in tasks:
+            assert s.machine_of(t) == e.best_machine(t)
+
+    def test_larger_y_never_reaches_fewer_schedules(self, tiny_workload, sim):
+        """Y=l candidate set contains the Y=1 set, so the greedy result
+        from the same start cannot be worse for the single relocated task."""
+        s1 = random_valid_string(tiny_workload.graph, tiny_workload.num_machines, 7)
+        s2 = s1.copy()
+        small = Allocator(tiny_workload, sim, y_candidates=1)
+        large = Allocator(
+            tiny_workload, sim, y_candidates=tiny_workload.num_machines
+        )
+        r1 = small.allocate(s1, [9])
+        r2 = large.allocate(s2, [9])
+        assert r2.makespan <= r1.makespan + 1e-9
+
+
+class TestSlotStrategies:
+    @pytest.mark.parametrize("task", [0, 4, 9, 15])
+    def test_per_machine_matches_all_positions(self, tiny_workload, sim, task):
+        """The slot optimisation must land on the same best makespan as
+        the literal all-positions enumeration (ABL-SLOT equivalence)."""
+        base = random_valid_string(
+            tiny_workload.graph, tiny_workload.num_machines, 8
+        )
+        results = {}
+        for slots in ("per-machine", "all-positions"):
+            s = base.copy()
+            alloc = Allocator(
+                tiny_workload,
+                sim,
+                y_candidates=tiny_workload.num_machines,
+                slots=slots,
+            )
+            results[slots] = alloc.allocate(s, [task]).makespan
+        assert results["per-machine"] == pytest.approx(results["all-positions"])
+
+    def test_per_machine_uses_fewer_trials(self, tiny_workload, sim):
+        base = random_valid_string(
+            tiny_workload.graph, tiny_workload.num_machines, 9
+        )
+        trials = {}
+        for slots in ("per-machine", "all-positions"):
+            alloc = Allocator(
+                tiny_workload,
+                sim,
+                y_candidates=tiny_workload.num_machines,
+                slots=slots,
+            )
+            trials[slots] = alloc.allocate(base.copy(), list(range(10))).trials
+        assert trials["per-machine"] < trials["all-positions"]

@@ -1,0 +1,72 @@
+"""Unit tests for SEConfig and the paper's parameter guidance."""
+
+import pytest
+
+from repro.core.config import SEConfig, default_bias
+
+
+class TestDefaultBias:
+    def test_small_problems_get_negative_bias(self):
+        """§4.4: negative B (-0.1..-0.3) for small problem sizes."""
+        assert -0.3 <= default_bias(10) <= -0.1
+
+    def test_large_problems_get_positive_bias(self):
+        """§4.4: positive B (0..0.1) for large problem sizes."""
+        assert 0.0 <= default_bias(100) <= 0.1
+
+    def test_threshold(self):
+        assert default_bias(49) < 0 < default_bias(50)
+
+
+class TestSEConfigValidation:
+    def test_defaults_valid(self):
+        SEConfig()
+
+    def test_bias_out_of_range(self):
+        with pytest.raises(ValueError, match="selection_bias"):
+            SEConfig(selection_bias=1.5)
+
+    def test_y_zero_rejected(self):
+        with pytest.raises(ValueError, match="y_candidates"):
+            SEConfig(y_candidates=0)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            SEConfig(max_iterations=-1)
+
+    def test_negative_time_limit_rejected(self):
+        with pytest.raises(ValueError, match="time_limit"):
+            SEConfig(time_limit=-0.1)
+
+    def test_stall_zero_rejected(self):
+        with pytest.raises(ValueError, match="stall_iterations"):
+            SEConfig(stall_iterations=0)
+
+    def test_bad_shuffle_range(self):
+        with pytest.raises(ValueError, match="initial_shuffle_range"):
+            SEConfig(initial_shuffle_range=(2.0, 1.0))
+        with pytest.raises(ValueError, match="initial_shuffle_range"):
+            SEConfig(initial_shuffle_range=(-1.0, 2.0))
+
+    def test_bad_slot_strategy(self):
+        with pytest.raises(ValueError, match="allocation_slots"):
+            SEConfig(allocation_slots="magic")  # type: ignore[arg-type]
+
+
+class TestResolution:
+    def test_resolved_bias_explicit_wins(self):
+        assert SEConfig(selection_bias=0.07).resolved_bias(10) == 0.07
+
+    def test_resolved_bias_default_by_size(self):
+        cfg = SEConfig()
+        assert cfg.resolved_bias(10) == default_bias(10)
+        assert cfg.resolved_bias(500) == default_bias(500)
+
+    def test_resolved_y_defaults_to_all_machines(self):
+        assert SEConfig().resolved_y(12) == 12
+
+    def test_resolved_y_clamped_to_machine_count(self):
+        assert SEConfig(y_candidates=50).resolved_y(8) == 8
+
+    def test_resolved_y_explicit(self):
+        assert SEConfig(y_candidates=3).resolved_y(8) == 3

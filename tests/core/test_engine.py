@@ -1,0 +1,187 @@
+"""Unit and behavioural tests for the SE engine."""
+
+import pytest
+
+from repro.analysis.trace import IterationRecord
+from repro.core import SEConfig, SimulatedEvolution, run_se
+from repro.core.observers import StallDetector, StringSnapshots
+from repro.schedule import Simulator, is_valid_for, verify_schedule
+from repro.schedule.operations import random_valid_string
+
+
+class TestBasicRun:
+    def test_returns_valid_best_string(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=1, max_iterations=30))
+        assert is_valid_for(res.best_string, tiny_workload.graph)
+
+    def test_best_schedule_verifies(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=1, max_iterations=30))
+        verify_schedule(tiny_workload, res.best_schedule)
+
+    def test_best_makespan_consistent(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=1, max_iterations=30))
+        sim = Simulator(tiny_workload)
+        assert res.best_makespan == pytest.approx(
+            sim.string_makespan(res.best_string)
+        )
+        assert res.best_schedule.makespan == pytest.approx(res.best_makespan)
+
+    def test_trace_length_equals_iterations(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=1, max_iterations=25))
+        assert res.iterations == 25
+        assert len(res.trace) == 25
+
+    def test_zero_iterations(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=1, max_iterations=0))
+        assert res.iterations == 0
+        assert len(res.trace) == 0
+        assert is_valid_for(res.best_string, tiny_workload.graph)
+
+    def test_resolved_parameters_reported(self, tiny_workload):
+        res = run_se(
+            tiny_workload,
+            SEConfig(seed=1, max_iterations=5, y_candidates=2, selection_bias=-0.1),
+        )
+        assert res.y_candidates == 2
+        assert res.bias == -0.1
+
+    def test_sample_workload_improves_over_figure2(self, sample_workload):
+        """SE should at least match the paper's hand-made Figure-2 string."""
+        from repro.model import FIGURE2_PAIRS
+        from repro.schedule import ScheduleString
+
+        fig2 = Simulator(sample_workload).string_makespan(
+            ScheduleString.from_pairs(FIGURE2_PAIRS, 2)
+        )
+        res = run_se(sample_workload, SEConfig(seed=5, max_iterations=60))
+        assert res.best_makespan <= fig2
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, tiny_workload):
+        a = run_se(tiny_workload, SEConfig(seed=42, max_iterations=20))
+        b = run_se(tiny_workload, SEConfig(seed=42, max_iterations=20))
+        assert a.best_makespan == b.best_makespan
+        assert a.best_string == b.best_string
+        assert a.trace.current_makespans() == b.trace.current_makespans()
+        assert a.trace.selected_counts() == b.trace.selected_counts()
+
+    def test_different_seeds_differ(self, tiny_workload):
+        a = run_se(tiny_workload, SEConfig(seed=1, max_iterations=20))
+        b = run_se(tiny_workload, SEConfig(seed=2, max_iterations=20))
+        assert (
+            a.trace.selected_counts() != b.trace.selected_counts()
+            or a.best_string != b.best_string
+        )
+
+
+class TestTraceInvariants:
+    def test_best_makespan_monotone_nonincreasing(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=3, max_iterations=50))
+        best = res.trace.best_makespans()
+        assert all(b2 <= b1 + 1e-9 for b1, b2 in zip(best, best[1:]))
+
+    def test_best_is_min_of_currents(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=3, max_iterations=50))
+        assert res.best_makespan <= min(res.trace.current_makespans()) + 1e-9
+
+    def test_selected_counts_bounded_by_k(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=3, max_iterations=50))
+        assert all(
+            0 <= c <= tiny_workload.num_tasks
+            for c in res.trace.selected_counts()
+        )
+
+    def test_mean_goodness_in_unit_interval(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=3, max_iterations=30))
+        for r in res.trace.records:
+            assert 0.0 <= r.mean_goodness <= 1.0
+
+    def test_evaluations_cumulative(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=3, max_iterations=30))
+        evals = [r.evaluations for r in res.trace.records]
+        assert all(e2 > e1 for e1, e2 in zip(evals, evals[1:]))
+        assert res.evaluations == evals[-1]
+
+
+class TestStoppingCriteria:
+    def test_stops_by_iterations(self, tiny_workload):
+        res = run_se(tiny_workload, SEConfig(seed=1, max_iterations=10))
+        assert res.stopped_by == "iterations"
+
+    def test_stops_by_time(self, tiny_workload):
+        res = run_se(
+            tiny_workload,
+            SEConfig(seed=1, max_iterations=10**6, time_limit=0.2),
+        )
+        assert res.stopped_by == "time"
+        assert res.iterations < 10**6
+
+    def test_stops_by_stall(self, tiny_workload):
+        res = run_se(
+            tiny_workload,
+            SEConfig(seed=1, max_iterations=10**4, stall_iterations=5),
+        )
+        assert res.stopped_by == "stall"
+
+
+class TestInitialString:
+    def test_explicit_initial_used(self, tiny_workload):
+        init = random_valid_string(
+            tiny_workload.graph, tiny_workload.num_machines, 77
+        )
+        res = run_se(
+            tiny_workload,
+            SEConfig(seed=1, max_iterations=0),
+            initial=init,
+        )
+        assert res.best_string == init
+
+    def test_initial_not_mutated(self, tiny_workload):
+        init = random_valid_string(
+            tiny_workload.graph, tiny_workload.num_machines, 77
+        )
+        before = init.pairs()
+        run_se(tiny_workload, SEConfig(seed=1, max_iterations=10), initial=init)
+        assert init.pairs() == before
+
+    def test_run_improves_on_initial(self, tiny_workload):
+        init = random_valid_string(
+            tiny_workload.graph, tiny_workload.num_machines, 77
+        )
+        start = Simulator(tiny_workload).string_makespan(init)
+        res = run_se(
+            tiny_workload, SEConfig(seed=1, max_iterations=50), initial=init
+        )
+        assert res.best_makespan <= start
+
+
+class TestObservers:
+    def test_observer_called_each_iteration(self, tiny_workload):
+        records: list[IterationRecord] = []
+        run_se(
+            tiny_workload,
+            SEConfig(seed=1, max_iterations=12),
+            observers=[lambda rec, s: records.append(rec)],
+        )
+        assert [r.iteration for r in records] == list(range(1, 13))
+
+    def test_string_snapshots(self, tiny_workload):
+        snaps = StringSnapshots()
+        run_se(
+            tiny_workload,
+            SEConfig(seed=1, max_iterations=8),
+            observers=[snaps],
+        )
+        assert len(snaps.snapshots) == 8
+        for s in snaps.snapshots:
+            assert is_valid_for(s, tiny_workload.graph)
+
+    def test_stall_detector_tracks_streaks(self, tiny_workload):
+        det = StallDetector()
+        run_se(
+            tiny_workload,
+            SEConfig(seed=1, max_iterations=40),
+            observers=[det],
+        )
+        assert det.longest_streak >= det.current_streak >= 0

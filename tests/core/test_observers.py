@@ -1,0 +1,79 @@
+"""Unit tests for the observer utilities."""
+
+import pytest
+
+from repro.analysis.trace import IterationRecord
+from repro.core.observers import ProgressPrinter, StallDetector, StringSnapshots
+from repro.schedule.encoding import ScheduleString
+
+
+def record(i, best=100.0):
+    return IterationRecord(
+        iteration=i,
+        current_makespan=best,
+        best_makespan=best,
+        num_selected=2,
+        elapsed_seconds=0.1 * i,
+    )
+
+
+@pytest.fixture
+def string():
+    return ScheduleString([0, 1], [0, 0], 1)
+
+
+class TestProgressPrinter:
+    def test_prints_every_n(self, string):
+        lines = []
+        p = ProgressPrinter(every=2, out=lines.append)
+        for i in range(1, 7):
+            p(record(i), string)
+        assert len(lines) == 3  # iterations 2, 4, 6
+
+    def test_line_contents(self, string):
+        lines = []
+        p = ProgressPrinter(every=1, out=lines.append)
+        p(record(5, best=123.4), string)
+        assert "it      5" in lines[0] or "5" in lines[0]
+        assert "123.4" in lines[0]
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="every"):
+            ProgressPrinter(every=0)
+
+    def test_default_out_prints(self, string, capsys):
+        p = ProgressPrinter(every=1)
+        p(record(1), string)
+        assert "best=" in capsys.readouterr().out
+
+
+class TestStringSnapshots:
+    def test_snapshots_are_copies(self, string):
+        snaps = StringSnapshots()
+        snaps(record(1), string)
+        string.assign(0, 0)
+        string.move(0, 1)
+        assert snaps.snapshots[0].position_of(0) == 0
+
+    def test_accumulates(self, string):
+        snaps = StringSnapshots()
+        for i in range(1, 4):
+            snaps(record(i), string)
+        assert len(snaps.snapshots) == 3
+
+
+class TestStallDetector:
+    def test_improvements_reset_streak(self, string):
+        det = StallDetector()
+        det(record(1, best=100.0), string)
+        det(record(2, best=100.0), string)
+        det(record(3, best=90.0), string)
+        assert det.current_streak == 0
+        assert det.longest_streak == 1
+
+    def test_flat_run_streak_grows(self, string):
+        det = StallDetector()
+        for i in range(1, 5):
+            det(record(i, best=50.0), string)
+        assert det.current_streak == 3
+        assert det.longest_streak == 3

@@ -1,0 +1,100 @@
+"""Unit tests for the SE selection step (paper §4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import expected_selection_fraction, select_subtasks
+from repro.model.graph import TaskGraph
+
+
+@pytest.fixture
+def graph():
+    # levels: 0 -> {1,2} -> 3
+    return TaskGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestSelectSubtasks:
+    def test_zero_goodness_selects_everything(self, graph, rng):
+        g = np.zeros(4)
+        sel = select_subtasks(g, graph, bias=-0.5, rng=rng)
+        assert sel == [0, 1, 2, 3]
+
+    def test_goodness_one_with_positive_bias_selects_nothing(self, graph, rng):
+        g = np.ones(4)
+        assert select_subtasks(g, graph, bias=0.1, rng=rng) == []
+
+    def test_result_sorted_by_level(self, graph):
+        rng = np.random.default_rng(0)
+        g = np.zeros(4)
+        sel = select_subtasks(g, graph, bias=-1.0, rng=rng)
+        levels = [graph.level(t) for t in sel]
+        assert levels == sorted(levels)
+
+    def test_negative_bias_selects_more(self, graph):
+        g = np.full(4, 0.5)
+        counts = {}
+        for bias in (-0.3, 0.3):
+            total = 0
+            rng = np.random.default_rng(7)
+            for _ in range(300):
+                total += len(select_subtasks(g, graph, bias, rng))
+            counts[bias] = total
+        assert counts[-0.3] > counts[0.3]
+
+    def test_lower_goodness_more_likely_selected(self, graph):
+        g = np.array([0.05, 0.95, 0.95, 0.95])
+        rng = np.random.default_rng(11)
+        hits = np.zeros(4)
+        for _ in range(500):
+            for t in select_subtasks(g, graph, 0.0, rng):
+                hits[t] += 1
+        assert hits[0] > hits[1] * 2
+
+    def test_high_goodness_has_nonzero_probability(self, graph):
+        """§4.4: well-placed individuals must keep an escape chance."""
+        g = np.full(4, 0.95)
+        rng = np.random.default_rng(13)
+        total = sum(
+            len(select_subtasks(g, graph, 0.0, rng)) for _ in range(1000)
+        )
+        assert total > 0
+
+    def test_shape_mismatch_rejected(self, graph, rng):
+        with pytest.raises(ValueError, match="shape"):
+            select_subtasks(np.zeros(3), graph, 0.0, rng)
+
+    def test_deterministic_given_rng_state(self, graph):
+        g = np.full(4, 0.5)
+        a = select_subtasks(g, graph, 0.0, np.random.default_rng(42))
+        b = select_subtasks(g, graph, 0.0, np.random.default_rng(42))
+        assert a == b
+
+
+class TestExpectedSelectionFraction:
+    def test_zero_goodness_full_selection(self):
+        assert expected_selection_fraction(np.zeros(5), 0.0) == pytest.approx(1.0)
+
+    def test_perfect_goodness_zero_selection(self):
+        assert expected_selection_fraction(np.ones(5), 0.0) == pytest.approx(0.0)
+
+    def test_bias_shifts_fraction(self):
+        g = np.full(5, 0.5)
+        assert expected_selection_fraction(g, -0.2) > expected_selection_fraction(
+            g, 0.2
+        )
+
+    def test_clipping_at_one(self):
+        # goodness + bias > 1 clips: fraction cannot go negative
+        assert expected_selection_fraction(np.ones(3), 0.5) == pytest.approx(0.0)
+
+    def test_matches_empirical_rate(self):
+        graph = TaskGraph.from_edges(6, [])
+        g = np.linspace(0.1, 0.9, 6)
+        bias = 0.05
+        rng = np.random.default_rng(3)
+        n = 2000
+        total = sum(len(select_subtasks(g, graph, bias, rng)) for _ in range(n))
+        empirical = total / (n * 6)
+        assert empirical == pytest.approx(
+            expected_selection_fraction(g, bias), abs=0.02
+        )

@@ -1,0 +1,59 @@
+"""Unit tests for HEFT-seeded warm starts."""
+
+import pytest
+
+from repro.baselines import GAConfig, heft
+from repro.core import SEConfig
+from repro.extensions.hybrid import heft_seeded_ga, heft_seeded_se
+from repro.schedule import is_valid_for, verify_schedule
+
+
+class TestHeftSeededSE:
+    def test_never_worse_than_heft(self, tiny_workload):
+        base = heft(tiny_workload).makespan
+        res = heft_seeded_se(
+            tiny_workload, SEConfig(seed=1, max_iterations=20)
+        )
+        assert res.best_makespan <= base + 1e-9
+
+    def test_valid_and_verified(self, tiny_workload):
+        res = heft_seeded_se(tiny_workload, SEConfig(seed=1, max_iterations=10))
+        assert is_valid_for(res.best_string, tiny_workload.graph)
+        verify_schedule(tiny_workload, res.best_schedule)
+
+    def test_zero_iterations_equals_heft(self, tiny_workload):
+        res = heft_seeded_se(tiny_workload, SEConfig(seed=1, max_iterations=0))
+        assert res.best_makespan == pytest.approx(heft(tiny_workload).makespan)
+
+    def test_usually_improves_on_heft(self):
+        """With a real iteration budget the warm-started SE should refine
+        HEFT on at least one of several seeds/workloads."""
+        from repro.workloads import WorkloadSpec, build_workload
+
+        improved = 0
+        for seed in range(3):
+            w = build_workload(
+                WorkloadSpec(num_tasks=30, num_machines=6, seed=50 + seed)
+            )
+            base = heft(w).makespan
+            res = heft_seeded_se(w, SEConfig(seed=seed, max_iterations=40))
+            if res.best_makespan < base - 1e-9:
+                improved += 1
+        assert improved >= 1
+
+
+class TestHeftSeededGA:
+    def test_never_worse_than_heft(self, tiny_workload):
+        base = heft(tiny_workload).makespan
+        res = heft_seeded_ga(
+            tiny_workload, GAConfig(seed=1, max_generations=10)
+        )
+        assert res.best_makespan <= base + 1e-9
+
+    def test_valid_and_verified(self, tiny_workload):
+        res = heft_seeded_ga(tiny_workload, GAConfig(seed=1, max_generations=5))
+        verify_schedule(tiny_workload, res.best_schedule)
+
+    def test_requires_elitism(self, tiny_workload):
+        with pytest.raises(ValueError, match="elite_count"):
+            heft_seeded_ga(tiny_workload, GAConfig(elite_count=0))

@@ -1,0 +1,112 @@
+"""Fast shape checks of the paper's experimental findings.
+
+These are scaled-down versions of the figure benchmarks: they assert the
+*qualitative* shapes the paper reports using small budgets, so the main
+test suite already guards the reproduction claims.  The full-scale runs
+live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core import SEConfig, run_se
+from repro.workloads import (
+    WorkloadSpec,
+    build_workload,
+    figure3_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def fig3_run():
+    w = figure3_workload(seed=11)
+    return run_se(w, SEConfig(seed=4, max_iterations=80))
+
+
+class TestFigure3Shapes:
+    def test_selection_starts_high(self, fig3_run):
+        """Fig. 3a: 'initially a large number of individuals should be
+        selected' — at least a quarter of the 100 subtasks."""
+        first = fig3_run.trace.selected_counts()[0]
+        assert first >= 25
+
+    def test_selection_decays(self, fig3_run):
+        """Fig. 3a: the selected count decreases as SE progresses."""
+        sel = fig3_run.trace.selected_counts()
+        early = sum(sel[:10]) / 10
+        late = sum(sel[-10:]) / 10
+        assert late < early / 2
+
+    def test_schedule_length_decreases(self, fig3_run):
+        """Fig. 3b: the current schedule length trends downward."""
+        cur = fig3_run.trace.current_makespans()
+        assert cur[-1] < cur[0]
+
+    def test_goodness_rises(self, fig3_run):
+        mg = [r.mean_goodness for r in fig3_run.trace.records]
+        assert mg[-1] > mg[0]
+
+
+class TestYParameterShapes:
+    """Scaled-down Fig. 4: Y trades run time for quality (§5.2)."""
+
+    def test_trials_grow_with_y(self):
+        w = build_workload(
+            WorkloadSpec(num_tasks=40, num_machines=10, seed=2,
+                         heterogeneity="low")
+        )
+        evals = {}
+        for y in (2, 10):
+            res = run_se(
+                w, SEConfig(seed=3, max_iterations=15, y_candidates=y)
+            )
+            evals[y] = res.evaluations
+        assert evals[10] > evals[2]
+
+    def test_low_heterogeneity_larger_y_not_worse(self):
+        """Fig. 4a: with low heterogeneity, larger Y improves (or at
+        least does not hurt) final quality.  Averaged over seeds to tame
+        stochastic noise."""
+        deltas = []
+        for seed in range(4):
+            w = build_workload(
+                WorkloadSpec(
+                    num_tasks=40,
+                    num_machines=10,
+                    heterogeneity="low",
+                    seed=100 + seed,
+                )
+            )
+            small = run_se(
+                w, SEConfig(seed=seed, max_iterations=25, y_candidates=2)
+            ).best_makespan
+            large = run_se(
+                w, SEConfig(seed=seed, max_iterations=25, y_candidates=10)
+            ).best_makespan
+            deltas.append(small - large)
+        assert sum(deltas) >= 0  # larger Y at least as good on average
+
+
+class TestBiasShapes:
+    """§4.4: negative bias selects more subtasks per iteration."""
+
+    def test_selection_volume_by_bias(self):
+        w = build_workload(WorkloadSpec(num_tasks=40, num_machines=8, seed=5))
+        volumes = {}
+        for bias in (-0.2, 0.2):
+            res = run_se(
+                w,
+                SEConfig(seed=6, max_iterations=20, selection_bias=bias),
+            )
+            volumes[bias] = sum(res.trace.selected_counts())
+        assert volumes[-0.2] > volumes[0.2]
+
+    def test_negative_bias_costs_more_evaluations(self):
+        w = build_workload(WorkloadSpec(num_tasks=40, num_machines=8, seed=5))
+        evals = {}
+        for bias in (-0.2, 0.2):
+            res = run_se(
+                w,
+                SEConfig(seed=6, max_iterations=20, selection_bias=bias),
+            )
+            evals[bias] = res.evaluations
+        assert evals[-0.2] > evals[0.2]

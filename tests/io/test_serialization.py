@@ -1,0 +1,160 @@
+"""Unit and round-trip tests for JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis.trace import ConvergenceTrace, IterationRecord
+from repro.io import (
+    SerializationError,
+    load_json,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    string_from_dict,
+    string_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.model import paper_sample_workload
+from repro.schedule import ScheduleString, Simulator
+from repro.schedule.operations import random_valid_string
+from repro.workloads import WorkloadSpec, build_workload
+
+
+@pytest.fixture
+def workload():
+    return build_workload(
+        WorkloadSpec(num_tasks=15, num_machines=3, seed=5, name="io-test")
+    )
+
+
+class TestWorkloadRoundTrip:
+    def test_dimensions_preserved(self, workload):
+        back = workload_from_dict(workload_to_dict(workload))
+        assert back.num_tasks == workload.num_tasks
+        assert back.num_machines == workload.num_machines
+        assert back.num_data_items == workload.num_data_items
+
+    def test_matrices_exact(self, workload):
+        back = workload_from_dict(workload_to_dict(workload))
+        assert back.exec_times == workload.exec_times
+        assert back.transfer_times == workload.transfer_times
+
+    def test_graph_structure_exact(self, workload):
+        back = workload_from_dict(workload_to_dict(workload))
+        assert [d.edge for d in back.graph.data_items] == [
+            d.edge for d in workload.graph.data_items
+        ]
+
+    def test_metadata_preserved(self, workload):
+        back = workload_from_dict(workload_to_dict(workload))
+        assert back.name == "io-test"
+        assert back.classification.ccr == workload.classification.ccr
+
+    def test_schedules_identical_after_roundtrip(self, workload):
+        """The decisive test: any string evaluates identically on the
+        original and the round-tripped workload."""
+        back = workload_from_dict(workload_to_dict(workload))
+        for seed in range(5):
+            s = random_valid_string(workload.graph, workload.num_machines, seed)
+            assert Simulator(workload).string_makespan(s) == Simulator(
+                back
+            ).string_makespan(s)
+
+    def test_sample_workload_roundtrip(self):
+        w = paper_sample_workload()
+        back = workload_from_dict(workload_to_dict(w))
+        assert back.exec_times == w.exec_times
+
+    def test_single_machine_roundtrip(self, single_machine_workload):
+        back = workload_from_dict(workload_to_dict(single_machine_workload))
+        assert back.num_machines == 1
+        assert back.num_data_items == 4
+
+    def test_json_serializable(self, workload):
+        json.dumps(workload_to_dict(workload))  # must not raise
+
+    def test_missing_key_rejected(self, workload):
+        doc = workload_to_dict(workload)
+        del doc["exec_times"]
+        with pytest.raises(SerializationError, match="exec_times"):
+            workload_from_dict(doc)
+
+    def test_wrong_version_rejected(self, workload):
+        doc = workload_to_dict(workload)
+        doc["version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            workload_from_dict(doc)
+
+
+class TestStringAndScheduleRoundTrip:
+    def test_string_roundtrip(self, workload):
+        s = random_valid_string(workload.graph, workload.num_machines, 1)
+        back = string_from_dict(string_to_dict(s))
+        assert back == s
+
+    def test_schedule_roundtrip(self, workload):
+        s = random_valid_string(workload.graph, workload.num_machines, 1)
+        sched = Simulator(workload).evaluate(s)
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back == sched
+
+
+class TestTraceRoundTrip:
+    def test_roundtrip(self):
+        t = ConvergenceTrace()
+        t.append(
+            IterationRecord(
+                iteration=1,
+                current_makespan=10.0,
+                best_makespan=10.0,
+                num_selected=3,
+                elapsed_seconds=0.5,
+                mean_goodness=0.7,
+                evaluations=42,
+            )
+        )
+        t.append(
+            IterationRecord(
+                iteration=2,
+                current_makespan=9.0,
+                best_makespan=9.0,
+                num_selected=None,
+                mean_goodness=None,
+            )
+        )
+        back = trace_from_dict(trace_to_dict(t))
+        assert len(back) == 2
+        assert back[0].evaluations == 42
+        assert back[1].num_selected is None
+
+
+class TestFileHelpers:
+    def test_save_and_load_workload(self, workload, tmp_path):
+        path = save_json(workload, tmp_path / "w.json")
+        back = load_json(path)
+        assert back.exec_times == workload.exec_times
+
+    def test_save_and_load_string(self, workload, tmp_path):
+        s = random_valid_string(workload.graph, workload.num_machines, 2)
+        back = load_json(save_json(s, tmp_path / "s.json"))
+        assert back == s
+
+    def test_save_and_load_schedule(self, workload, tmp_path):
+        s = random_valid_string(workload.graph, workload.num_machines, 2)
+        sched = Simulator(workload).evaluate(s)
+        back = load_json(save_json(sched, tmp_path / "sched.json"))
+        assert back == sched
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="serialise"):
+            save_json({"not": "supported"}, tmp_path / "x.json")
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "mystery"}))
+        with pytest.raises(SerializationError, match="kind"):
+            load_json(path)

@@ -1,0 +1,69 @@
+"""Unit tests for machines and machine sets."""
+
+import pytest
+
+from repro.model.machine import Machine, MachineSet
+
+
+class TestMachine:
+    def test_default_name(self):
+        assert Machine(2).name == "m2"
+
+    def test_architecture_tag(self):
+        assert Machine(0, architecture="SIMD").architecture == "SIMD"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="index"):
+            Machine(-2)
+
+    def test_ordering(self):
+        assert Machine(0) < Machine(1)
+
+
+class TestMachineSet:
+    def test_of_size(self):
+        ms = MachineSet.of_size(4)
+        assert len(ms) == 4
+        assert [m.index for m in ms] == [0, 1, 2, 3]
+
+    def test_of_size_cycles_architectures(self):
+        ms = MachineSet.of_size(4, architectures=("SIMD", "MIMD"))
+        assert [m.architecture for m in ms] == ["SIMD", "MIMD", "SIMD", "MIMD"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MachineSet([])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError, match="> 0"):
+            MachineSet.of_size(0)
+
+    def test_non_dense_indices_rejected(self):
+        with pytest.raises(ValueError, match="dense"):
+            MachineSet([Machine(0), Machine(2)])
+
+    def test_out_of_order_indices_rejected(self):
+        with pytest.raises(ValueError, match="dense"):
+            MachineSet([Machine(1), Machine(0)])
+
+    def test_getitem(self):
+        ms = MachineSet.of_size(3)
+        assert ms[1].index == 1
+
+    def test_contains(self):
+        ms = MachineSet.of_size(2)
+        assert Machine(0) in ms
+        assert Machine(5) not in ms
+
+    def test_num_pairs(self):
+        assert MachineSet.of_size(1).num_pairs() == 0
+        assert MachineSet.of_size(2).num_pairs() == 1
+        assert MachineSet.of_size(20).num_pairs() == 190
+
+    def test_indices_range(self):
+        assert list(MachineSet.of_size(3).indices) == [0, 1, 2]
+
+    def test_equality_and_hash(self):
+        assert MachineSet.of_size(2) == MachineSet.of_size(2)
+        assert hash(MachineSet.of_size(2)) == hash(MachineSet.of_size(2))
+        assert MachineSet.of_size(2) != MachineSet.of_size(3)

@@ -1,0 +1,214 @@
+"""Unit tests for the E and Tr matrices and the pair indexing."""
+
+import numpy as np
+import pytest
+
+from repro.model.matrices import (
+    ExecutionTimeMatrix,
+    TransferTimeMatrix,
+    num_pairs,
+    pair_index,
+)
+
+
+class TestPairIndex:
+    def test_enumeration_order(self):
+        # pairs of 4 machines: (0,1)(0,2)(0,3)(1,2)(1,3)(2,3)
+        expected = {(0, 1): 0, (0, 2): 1, (0, 3): 2, (1, 2): 3, (1, 3): 4, (2, 3): 5}
+        for (a, b), row in expected.items():
+            assert pair_index(a, b, 4) == row
+
+    def test_symmetry(self):
+        for a in range(5):
+            for b in range(5):
+                if a != b:
+                    assert pair_index(a, b, 5) == pair_index(b, a, 5)
+
+    def test_bijective_over_all_pairs(self):
+        l = 7
+        rows = {pair_index(a, b, l) for a in range(l) for b in range(a + 1, l)}
+        assert rows == set(range(num_pairs(l)))
+
+    def test_same_machine_rejected(self):
+        with pytest.raises(ValueError, match="same-machine"):
+            pair_index(2, 2, 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            pair_index(0, 4, 4)
+        with pytest.raises(ValueError, match="out of range"):
+            pair_index(-1, 2, 4)
+
+    def test_num_pairs(self):
+        assert num_pairs(1) == 0
+        assert num_pairs(2) == 1
+        assert num_pairs(20) == 190
+
+
+class TestExecutionTimeMatrix:
+    def test_shape_accessors(self):
+        e = ExecutionTimeMatrix([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert e.num_machines == 2
+        assert e.num_tasks == 3
+
+    def test_time_lookup(self):
+        e = ExecutionTimeMatrix([[1.0, 2.0], [3.0, 4.0]])
+        assert e.time(1, 0) == 3.0
+
+    def test_values_read_only(self):
+        e = ExecutionTimeMatrix([[1.0]])
+        with pytest.raises(ValueError):
+            e.values[0, 0] = 2.0
+
+    def test_one_dim_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ExecutionTimeMatrix([1.0, 2.0])
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ExecutionTimeMatrix([[0.0, 1.0]])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ExecutionTimeMatrix([[-1.0]])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ExecutionTimeMatrix([[float("nan")]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ExecutionTimeMatrix([[float("inf")]])
+
+    def test_best_machine(self):
+        e = ExecutionTimeMatrix([[5.0, 1.0], [2.0, 9.0]])
+        assert e.best_machine(0) == 1
+        assert e.best_machine(1) == 0
+
+    def test_best_machine_tie_breaks_low_index(self):
+        e = ExecutionTimeMatrix([[3.0], [3.0], [3.0]])
+        assert e.best_machine(0) == 0
+
+    def test_best_machines_ranking(self):
+        e = ExecutionTimeMatrix([[5.0], [2.0], [8.0]])
+        assert e.best_machines(0) == (1, 0, 2)
+        assert e.best_machines(0, y=2) == (1, 0)
+
+    def test_best_machines_y_clamped(self):
+        e = ExecutionTimeMatrix([[5.0], [2.0]])
+        assert e.best_machines(0, y=99) == (1, 0)
+
+    def test_best_machines_y_zero_rejected(self):
+        e = ExecutionTimeMatrix([[5.0]])
+        with pytest.raises(ValueError, match=">= 1"):
+            e.best_machines(0, y=0)
+
+    def test_best_time(self):
+        e = ExecutionTimeMatrix([[5.0], [2.0]])
+        assert e.best_time(0) == 2.0
+
+    def test_average_time(self):
+        e = ExecutionTimeMatrix([[2.0], [4.0]])
+        assert e.average_time(0) == 3.0
+
+    def test_heterogeneity_zero_when_uniform(self):
+        e = ExecutionTimeMatrix([[7.0, 3.0], [7.0, 3.0]])
+        assert e.heterogeneity() == pytest.approx(0.0)
+
+    def test_heterogeneity_positive_when_spread(self):
+        e = ExecutionTimeMatrix([[1.0], [10.0]])
+        assert e.heterogeneity() > 0.5
+
+    def test_equality(self):
+        a = ExecutionTimeMatrix([[1.0, 2.0]])
+        b = ExecutionTimeMatrix([[1.0, 2.0]])
+        c = ExecutionTimeMatrix([[1.0, 3.0]])
+        assert a == b
+        assert a != c
+
+    def test_task_and_machine_views(self):
+        e = ExecutionTimeMatrix([[1.0, 2.0], [3.0, 4.0]])
+        assert list(e.task_times(1)) == [2.0, 4.0]
+        assert list(e.machine_times(0)) == [1.0, 2.0]
+
+
+class TestTransferTimeMatrix:
+    def test_basic_lookup(self):
+        tr = TransferTimeMatrix([[5.0, 7.0]], num_machines=2)
+        assert tr.time(0, 1, 0) == 5.0
+        assert tr.time(1, 0, 1) == 7.0
+
+    def test_same_machine_is_free(self):
+        tr = TransferTimeMatrix([[5.0]], num_machines=2)
+        assert tr.time(0, 0, 0) == 0.0
+        assert tr.time(1, 1, 0) == 0.0
+
+    def test_wrong_row_count_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            TransferTimeMatrix([[1.0], [2.0]], num_machines=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TransferTimeMatrix([[-1.0]], num_machines=2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            TransferTimeMatrix([[float("nan")]], num_machines=2)
+
+    def test_zeros_constructor(self):
+        tr = TransferTimeMatrix.zeros(3, 4)
+        assert tr.num_items == 4
+        assert tr.time(0, 2, 3) == 0.0
+
+    def test_uniform_constructor(self):
+        tr = TransferTimeMatrix.uniform(3, 2, 9.0)
+        assert tr.time(1, 2, 0) == 9.0
+
+    def test_uniform_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TransferTimeMatrix.uniform(2, 1, -1.0)
+
+    def test_single_machine_empty(self):
+        tr = TransferTimeMatrix(np.zeros((0, 3)), num_machines=1)
+        assert tr.time(0, 0, 2) == 0.0
+        assert tr.mean_time() == 0.0
+
+    def test_from_item_sizes(self):
+        tr = TransferTimeMatrix.from_item_sizes(
+            [10.0, 20.0], num_machines=2, pair_latency=1.0, pair_rate=2.0
+        )
+        assert tr.time(0, 1, 0) == pytest.approx(6.0)   # 1 + 10/2
+        assert tr.time(0, 1, 1) == pytest.approx(11.0)  # 1 + 20/2
+
+    def test_from_item_sizes_per_pair_rates(self):
+        tr = TransferTimeMatrix.from_item_sizes(
+            [12.0], num_machines=3, pair_rate=[1.0, 2.0, 3.0]
+        )
+        assert tr.time(0, 1, 0) == pytest.approx(12.0)
+        assert tr.time(0, 2, 0) == pytest.approx(6.0)
+        assert tr.time(1, 2, 0) == pytest.approx(4.0)
+
+    def test_from_item_sizes_bad_rate_shape(self):
+        with pytest.raises(ValueError, match="pair_rate"):
+            TransferTimeMatrix.from_item_sizes(
+                [1.0], num_machines=3, pair_rate=[1.0, 2.0]
+            )
+
+    def test_from_item_sizes_zero_rate_rejected(self):
+        with pytest.raises(ValueError, match="> 0"):
+            TransferTimeMatrix.from_item_sizes(
+                [1.0], num_machines=2, pair_rate=0.0
+            )
+
+    def test_mean_time(self):
+        tr = TransferTimeMatrix([[2.0, 4.0]], num_machines=2)
+        assert tr.mean_time() == pytest.approx(3.0)
+
+    def test_item_times_column(self):
+        tr = TransferTimeMatrix([[2.0, 4.0], [6.0, 8.0], [1.0, 3.0]], num_machines=3)
+        assert list(tr.item_times(1)) == [4.0, 8.0, 3.0]
+
+    def test_equality(self):
+        a = TransferTimeMatrix([[1.0]], num_machines=2)
+        b = TransferTimeMatrix([[1.0]], num_machines=2)
+        assert a == b

@@ -1,0 +1,118 @@
+"""Unit tests for HCSystem, Workload and WorkloadClass."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    ExecutionTimeMatrix,
+    HCSystem,
+    TaskGraph,
+    TransferTimeMatrix,
+    Workload,
+    WorkloadClass,
+)
+from repro.model.machine import Machine, MachineSet
+
+
+class TestHCSystem:
+    def test_of_size(self):
+        sys_ = HCSystem.of_size(5)
+        assert sys_.num_machines == 5
+        assert sys_.machine(2).index == 2
+
+    def test_accepts_machine_iterable(self):
+        sys_ = HCSystem([Machine(0), Machine(1)])
+        assert sys_.num_machines == 2
+
+    def test_topology_default(self):
+        assert HCSystem.of_size(2).topology == "fully-connected"
+
+    def test_unsupported_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            HCSystem(MachineSet.of_size(2), topology="mesh")
+
+    def test_equality(self):
+        assert HCSystem.of_size(3) == HCSystem.of_size(3)
+        assert HCSystem.of_size(3) != HCSystem.of_size(4)
+
+
+def _make_parts(k=3, l=2, p=2):
+    graph = TaskGraph.from_edges(k, [(0, 1), (1, 2)][:p])
+    e = ExecutionTimeMatrix(np.full((l, k), 2.0))
+    tr = TransferTimeMatrix(np.full((l * (l - 1) // 2, p), 1.0), l)
+    return graph, HCSystem.of_size(l), e, tr
+
+
+class TestWorkloadValidation:
+    def test_valid_construction(self):
+        w = Workload(*_make_parts())
+        assert w.num_tasks == 3
+        assert w.num_machines == 2
+        assert w.num_data_items == 2
+
+    def test_machine_count_mismatch(self):
+        graph, _, e, tr = _make_parts()
+        with pytest.raises(ValueError, match="machines"):
+            Workload(graph, HCSystem.of_size(3), e, tr)
+
+    def test_task_count_mismatch(self):
+        graph, system, _, tr = _make_parts()
+        bad_e = ExecutionTimeMatrix(np.full((2, 5), 2.0))
+        with pytest.raises(ValueError, match="task columns"):
+            Workload(graph, system, bad_e, tr)
+
+    def test_item_count_mismatch(self):
+        graph, system, e, _ = _make_parts()
+        bad_tr = TransferTimeMatrix(np.full((1, 9), 1.0), 2)
+        with pytest.raises(ValueError, match="item columns"):
+            Workload(graph, system, e, bad_tr)
+
+    def test_transfer_machine_mismatch(self):
+        graph, system, e, _ = _make_parts()
+        bad_tr = TransferTimeMatrix(np.full((3, 2), 1.0), 3)
+        with pytest.raises(ValueError, match="sized for"):
+            Workload(graph, system, e, bad_tr)
+
+    def test_default_name(self):
+        w = Workload(*_make_parts())
+        assert w.name == "workload-k3-l2"
+
+
+class TestWorkloadQueries:
+    def test_exec_time(self):
+        w = Workload(*_make_parts())
+        assert w.exec_time(1, 2) == 2.0
+
+    def test_comm_time_cross_machine(self):
+        w = Workload(*_make_parts())
+        assert w.comm_time(0, 1, 0) == 1.0
+
+    def test_comm_time_same_machine_zero(self):
+        w = Workload(*_make_parts())
+        assert w.comm_time(1, 1, 0) == 0.0
+
+    def test_serial_time_best(self):
+        w = Workload(*_make_parts())
+        assert w.serial_time_best() == pytest.approx(6.0)  # 3 tasks x 2.0
+
+    def test_ccr_estimate(self):
+        w = Workload(*_make_parts())
+        assert w.ccr_estimate() == pytest.approx(0.5)  # 1.0 comm / 2.0 exec
+
+    def test_describe_mentions_counts(self):
+        w = Workload(*_make_parts())
+        text = w.describe()
+        assert "k = 3" in text
+        assert "l = 2" in text
+
+
+class TestWorkloadClass:
+    def test_describe(self):
+        wc = WorkloadClass(
+            connectivity="high", heterogeneity="low", ccr=0.1, size="large"
+        )
+        assert "connectivity=high" in wc.describe()
+        assert "CCR=0.1" in wc.describe()
+
+    def test_describe_unknown_ccr(self):
+        assert "CCR=?" in WorkloadClass().describe()

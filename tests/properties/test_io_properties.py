@@ -1,0 +1,62 @@
+"""Property-based round-trip tests for serialization and SVG export."""
+
+import xml.etree.ElementTree as ET
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.serialization import (
+    schedule_from_dict,
+    schedule_to_dict,
+    string_from_dict,
+    string_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.io.visual import graph_to_dot, schedule_to_svg
+from repro.schedule.simulator import Simulator
+from tests.strategies import workload_strings, workloads
+
+
+@given(workloads())
+def test_workload_roundtrip_evaluates_identically(w):
+    back = workload_from_dict(workload_to_dict(w))
+    assert back.num_tasks == w.num_tasks
+    assert back.num_machines == w.num_machines
+    assert back.exec_times == w.exec_times
+    assert back.transfer_times == w.transfer_times
+
+
+@given(workload_strings())
+def test_string_roundtrip_exact(data):
+    w, s = data
+    assert string_from_dict(string_to_dict(s)) == s
+
+
+@given(workload_strings())
+def test_schedule_roundtrip_exact(data):
+    w, s = data
+    sched = Simulator(w).evaluate(s)
+    assert schedule_from_dict(schedule_to_dict(sched)) == sched
+
+
+@given(workload_strings())
+def test_roundtripped_workload_reproduces_makespans(data):
+    w, s = data
+    back = workload_from_dict(workload_to_dict(w))
+    assert Simulator(back).string_makespan(s) == Simulator(w).string_makespan(s)
+
+
+@given(workload_strings())
+def test_svg_always_well_formed(data):
+    w, s = data
+    sched = Simulator(w).evaluate(s)
+    ET.fromstring(schedule_to_svg(w, sched))
+
+
+@given(workloads())
+def test_dot_mentions_every_task_and_edge(w):
+    dot = graph_to_dot(w.graph)
+    for t in range(w.num_tasks):
+        assert f"s{t} [" in dot
+    assert dot.count("->") == w.num_data_items

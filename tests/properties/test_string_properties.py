@@ -1,0 +1,144 @@
+"""Property-based tests: string encoding, valid ranges, operators.
+
+The central closure invariant of the whole library: **every operator
+keeps a valid string valid**.  SE allocation, GA mutation/crossover and
+the initial-solution shuffles all rely on it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.encoding import is_valid_for
+from repro.schedule.operations import (
+    random_reassign,
+    random_topological_order,
+    random_valid_move,
+    random_valid_string,
+)
+from repro.schedule.valid_range import (
+    machine_slot_indices,
+    valid_insertion_range,
+)
+from tests.strategies import graph_strings, task_graphs
+
+
+@given(graph_strings())
+def test_random_valid_string_is_valid(data):
+    graph, l, s = data
+    assert is_valid_for(s, graph)
+
+
+@given(task_graphs(), st.integers(0, 2**32 - 1))
+def test_random_topological_order_valid(graph, seed):
+    rng = np.random.default_rng(seed)
+    assert graph.is_valid_order(random_topological_order(graph, rng))
+
+
+@given(graph_strings(), st.integers(0, 2**32 - 1), st.integers(1, 30))
+def test_moves_preserve_validity(data, seed, n_moves):
+    graph, l, s = data
+    rng = np.random.default_rng(seed)
+    for _ in range(n_moves):
+        random_valid_move(s, graph, rng)
+        assert is_valid_for(s, graph)
+
+
+@given(graph_strings(), st.integers(0, 2**32 - 1))
+def test_reassign_preserves_validity(data, seed):
+    graph, l, s = data
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        random_reassign(s, rng)
+        assert is_valid_for(s, graph)
+
+
+@given(graph_strings())
+def test_positions_consistent_with_order(data):
+    graph, l, s = data
+    for pos, t in enumerate(s.order):
+        assert s.position_of(t) == pos
+        assert s.task_at(pos) == t
+
+
+@given(graph_strings())
+def test_machine_sequences_partition_tasks(data):
+    graph, l, s = data
+    all_tasks = [t for m in range(l) for t in s.machine_sequence(m)]
+    assert sorted(all_tasks) == list(range(graph.num_tasks))
+
+
+@given(graph_strings())
+def test_valid_range_brute_force(data):
+    """The analytic window equals the brute-force set of valid moves."""
+    graph, l, s = data
+    k = graph.num_tasks
+    for task in range(k):
+        lo, hi = valid_insertion_range(s, graph, task)
+        assert 0 <= lo <= hi <= k - 1
+        assert lo <= s.position_of(task) <= hi
+        for idx in range(k):
+            probe = s.copy()
+            probe.move(task, idx)
+            assert graph.is_valid_order(probe.order) == (lo <= idx <= hi)
+
+
+@given(graph_strings())
+def test_move_within_range_preserves_validity(data):
+    graph, l, s = data
+    for task in range(graph.num_tasks):
+        lo, hi = valid_insertion_range(s, graph, task)
+        for idx in (lo, hi, (lo + hi) // 2):
+            probe = s.copy()
+            probe.move(task, idx)
+            assert is_valid_for(probe, graph)
+
+
+@given(graph_strings())
+def test_slot_indices_reach_exactly_all_distinct_schedules(data):
+    """Per-machine slot enumeration reaches the same set of per-machine
+    orders as enumerating every valid insertion index (ABL-SLOT)."""
+    graph, l, s = data
+    for task in range(graph.num_tasks):
+        lo, hi = valid_insertion_range(s, graph, task)
+        for machine in range(l):
+            def orders_from(indices):
+                out = set()
+                for idx in indices:
+                    probe = s.copy()
+                    probe.relocate(task, idx, machine)
+                    out.add(
+                        tuple(
+                            tuple(probe.machine_sequence(m)) for m in range(l)
+                        )
+                    )
+                return out
+
+            slots = machine_slot_indices(s, graph, task, machine)
+            assert set(slots) <= set(range(lo, hi + 1))
+            assert orders_from(slots) == orders_from(range(lo, hi + 1))
+
+
+@given(graph_strings(), st.integers(0, 2**32 - 1))
+def test_move_and_back_is_identity(data, seed):
+    graph, l, s = data
+    rng = np.random.default_rng(seed)
+    task = int(rng.integers(graph.num_tasks))
+    before = s.pairs()
+    orig = s.position_of(task)
+    lo, hi = valid_insertion_range(s, graph, task)
+    s.move(task, int(rng.integers(lo, hi + 1)))
+    s.move(task, orig)
+    assert s.pairs() == before
+
+
+@given(graph_strings())
+def test_copy_equality_and_independence(data):
+    graph, l, s = data
+    c = s.copy()
+    assert c == s
+    if graph.num_tasks >= 2:
+        c.move(s.order[0], 1)
+        c.assign(0, (c.machine_of(0) + 1) % l if l > 1 else 0)
+    # original untouched regardless of what happened to the copy
+    assert s.position_of(s.order[0]) == 0

@@ -1,0 +1,113 @@
+"""Unit tests for validity-preserving random string operations."""
+
+import numpy as np
+import pytest
+
+from repro.model.graph import TaskGraph
+from repro.schedule.encoding import ScheduleString, is_valid_for
+from repro.schedule.operations import (
+    random_reassign,
+    random_topological_order,
+    random_valid_move,
+    random_valid_string,
+    shuffle_string,
+)
+
+
+@pytest.fixture
+def graph():
+    return TaskGraph.from_edges(
+        6, [(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5)]
+    )
+
+
+class TestRandomTopologicalOrder:
+    def test_always_valid(self, graph, rng):
+        for _ in range(50):
+            order = random_topological_order(graph, rng)
+            assert graph.is_valid_order(order)
+
+    def test_covers_multiple_orders(self, graph, rng):
+        seen = {tuple(random_topological_order(graph, rng)) for _ in range(60)}
+        assert len(seen) > 1  # randomised tie-breaking actually varies
+
+    def test_single_task(self, rng):
+        g = TaskGraph.from_edges(1, [])
+        assert random_topological_order(g, rng) == [0]
+
+
+class TestRandomValidMove:
+    def test_preserves_validity(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        for _ in range(100):
+            random_valid_move(s, graph, rng)
+            assert is_valid_for(s, graph)
+
+    def test_returns_moved_task(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        t = random_valid_move(s, graph, rng)
+        assert 0 <= t < graph.num_tasks
+
+    def test_explicit_task(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        assert random_valid_move(s, graph, rng, task=2) == 2
+
+    def test_machines_untouched(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        before = list(s.machines)
+        random_valid_move(s, graph, rng)
+        assert s.machines == before
+
+
+class TestRandomReassign:
+    def test_changes_only_machine(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        order_before = list(s.order)
+        random_reassign(s, rng)
+        assert s.order == order_before
+
+    def test_explicit_task(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        assert random_reassign(s, rng, task=4) == 4
+
+    def test_machine_in_range(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        for _ in range(50):
+            t = random_reassign(s, rng)
+            assert 0 <= s.machine_of(t) < 3
+
+
+class TestRandomValidString:
+    def test_valid_for_graph(self, graph):
+        for seed in range(20):
+            s = random_valid_string(graph, 4, seed)
+            assert is_valid_for(s, graph)
+
+    def test_deterministic_for_seed(self, graph):
+        a = random_valid_string(graph, 4, 123)
+        b = random_valid_string(graph, 4, 123)
+        assert a == b
+
+    def test_different_seeds_differ(self, graph):
+        results = {
+            random_valid_string(graph, 4, seed).pairs() for seed in range(10)
+        }
+        assert len(results) > 1
+
+
+class TestShuffleString:
+    def test_preserves_validity(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        shuffle_string(s, graph, rng, 200)
+        assert is_valid_for(s, graph)
+
+    def test_zero_moves_noop(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        before = s.pairs()
+        shuffle_string(s, graph, rng, 0)
+        assert s.pairs() == before
+
+    def test_negative_moves_rejected(self, graph, rng):
+        s = random_valid_string(graph, 3, rng)
+        with pytest.raises(ValueError, match=">= 0"):
+            shuffle_string(s, graph, rng, -1)

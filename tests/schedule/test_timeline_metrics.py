@@ -1,0 +1,183 @@
+"""Unit tests for timelines, schedule verification, and metrics."""
+
+import pytest
+
+from repro.model import FIGURE2_PAIRS
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.metrics import (
+    communication_volume,
+    compute_metrics,
+    critical_path_lower_bound,
+    machine_load_lower_bound,
+    makespan_lower_bound,
+    normalized_makespan,
+    serial_speedup,
+)
+from repro.schedule.simulator import Schedule, Simulator
+from repro.schedule.timeline import Timeline, verify_schedule
+
+
+@pytest.fixture
+def fig2_schedule(sample_workload):
+    s = ScheduleString.from_pairs(FIGURE2_PAIRS, 2)
+    return Simulator(sample_workload).evaluate(s)
+
+
+class TestTimeline:
+    def test_spans_partition_tasks(self, sample_workload, fig2_schedule):
+        tl = Timeline(fig2_schedule, sample_workload.num_machines)
+        tasks = [s.task for m in range(2) for s in tl.spans(m)]
+        assert sorted(tasks) == list(range(7))
+
+    def test_spans_in_execution_order(self, sample_workload, fig2_schedule):
+        tl = Timeline(fig2_schedule, 2)
+        for m in range(2):
+            starts = [s.start for s in tl.spans(m)]
+            assert starts == sorted(starts)
+
+    def test_busy_plus_idle_equals_makespan(self, fig2_schedule):
+        tl = Timeline(fig2_schedule, 2)
+        for m in range(2):
+            assert tl.busy_time(m) + tl.idle_time(m) == pytest.approx(
+                fig2_schedule.makespan
+            )
+
+    def test_utilization_in_unit_interval(self, fig2_schedule):
+        tl = Timeline(fig2_schedule, 2)
+        for m in range(2):
+            assert 0.0 <= tl.utilization(m) <= 1.0
+
+    def test_mean_utilization(self, fig2_schedule):
+        tl = Timeline(fig2_schedule, 2)
+        assert tl.mean_utilization() == pytest.approx(
+            (tl.utilization(0) + tl.utilization(1)) / 2
+        )
+
+    def test_span_duration(self, sample_workload, fig2_schedule):
+        tl = Timeline(fig2_schedule, 2)
+        for m in range(2):
+            for span in tl.spans(m):
+                assert span.duration == pytest.approx(
+                    sample_workload.exec_time(m, span.task)
+                )
+
+    def test_render_ascii_has_machine_rows(self, fig2_schedule):
+        art = Timeline(fig2_schedule, 2).render_ascii(width=40)
+        lines = art.splitlines()
+        assert lines[0].startswith("m0")
+        assert lines[1].startswith("m1")
+
+    def test_render_ascii_zero_makespan(self):
+        empty = Schedule(order=(), machine_of=(), start=(), finish=(), makespan=0.0)
+        art = Timeline(empty, 2).render_ascii()
+        assert "m0" in art
+
+
+class TestVerifySchedule:
+    def test_accepts_simulator_output(self, sample_workload, fig2_schedule):
+        verify_schedule(sample_workload, fig2_schedule)
+
+    def test_rejects_wrong_duration(self, sample_workload, fig2_schedule):
+        broken = Schedule(
+            order=fig2_schedule.order,
+            machine_of=fig2_schedule.machine_of,
+            start=fig2_schedule.start,
+            finish=tuple(f + 1 for f in fig2_schedule.finish),
+            makespan=fig2_schedule.makespan,
+        )
+        with pytest.raises(AssertionError, match="runs for"):
+            verify_schedule(sample_workload, broken)
+
+    def test_rejects_overlap(self, diamond_workload):
+        # two tasks on one machine forced to overlap
+        sim = Simulator(diamond_workload)
+        good = sim.evaluate(ScheduleString([0, 1, 2, 3], [0, 0, 0, 0], 2))
+        overlapped = Schedule(
+            order=good.order,
+            machine_of=good.machine_of,
+            start=(0.0, 5.0, 35.0, 60.0),  # s1 starts while s0 runs
+            finish=(10.0, 25.0, 65.0, 70.0),
+            makespan=70.0,
+        )
+        with pytest.raises(AssertionError):
+            verify_schedule(diamond_workload, overlapped)
+
+    def test_rejects_start_before_data_arrival(self, diamond_workload):
+        sim = Simulator(diamond_workload)
+        good = sim.evaluate(ScheduleString([0, 1, 2, 3], [0, 1, 0, 0], 2))
+        # shift s1 earlier than its input allows
+        cheat = Schedule(
+            order=good.order,
+            machine_of=good.machine_of,
+            start=(0.0, 0.0) + good.start[2:],
+            finish=(10.0, 10.0) + good.finish[2:],
+            makespan=good.makespan,
+        )
+        with pytest.raises(AssertionError):
+            verify_schedule(diamond_workload, cheat)
+
+    def test_rejects_wrong_makespan(self, sample_workload, fig2_schedule):
+        broken = Schedule(
+            order=fig2_schedule.order,
+            machine_of=fig2_schedule.machine_of,
+            start=fig2_schedule.start,
+            finish=fig2_schedule.finish,
+            makespan=fig2_schedule.makespan * 2,
+        )
+        with pytest.raises(AssertionError, match="makespan"):
+            verify_schedule(sample_workload, broken)
+
+
+class TestLowerBounds:
+    def test_critical_path_on_chain(self, single_machine_workload):
+        # chain graph 0->2->3 and 0->2->4, 1->2; longest best-time path
+        lb = critical_path_lower_bound(single_machine_workload)
+        # path 1(4) -> 2(5) -> 4(7) = 16 is the longest
+        assert lb == pytest.approx(16.0)
+
+    def test_machine_load_bound(self, single_machine_workload):
+        assert machine_load_lower_bound(single_machine_workload) == pytest.approx(
+            25.0
+        )
+
+    def test_makespan_lower_bound_is_max(self, single_machine_workload):
+        assert makespan_lower_bound(single_machine_workload) == pytest.approx(25.0)
+
+    def test_no_schedule_beats_the_bound(self, tiny_workload):
+        from repro.schedule.operations import random_valid_string
+
+        lb = makespan_lower_bound(tiny_workload)
+        sim = Simulator(tiny_workload)
+        for seed in range(10):
+            s = random_valid_string(tiny_workload.graph, tiny_workload.num_machines, seed)
+            assert sim.string_makespan(s) >= lb - 1e-9
+
+
+class TestMetrics:
+    def test_communication_volume_all_local_is_zero(self, diamond_workload):
+        s = ScheduleString([0, 1, 2, 3], [0, 0, 0, 0], 2)
+        sched = Simulator(diamond_workload).evaluate(s)
+        assert communication_volume(diamond_workload, sched) == 0.0
+
+    def test_communication_volume_counts_cross_items(self, diamond_workload):
+        s = ScheduleString([0, 1, 2, 3], [0, 1, 0, 0], 2)
+        sched = Simulator(diamond_workload).evaluate(s)
+        # items crossing: d0 (s0->s1) and d2 (s1->s3), each 5.0
+        assert communication_volume(diamond_workload, sched) == pytest.approx(10.0)
+
+    def test_normalized_makespan_at_least_one(self, sample_workload, fig2_schedule):
+        assert normalized_makespan(sample_workload, fig2_schedule.makespan) >= 1.0
+
+    def test_serial_speedup_positive(self, sample_workload, fig2_schedule):
+        assert serial_speedup(sample_workload, fig2_schedule.makespan) > 0
+
+    def test_serial_speedup_rejects_zero(self, sample_workload):
+        with pytest.raises(ValueError, match="> 0"):
+            serial_speedup(sample_workload, 0.0)
+
+    def test_compute_metrics_bundle(self, sample_workload, fig2_schedule):
+        m = compute_metrics(sample_workload, fig2_schedule)
+        assert m.makespan == fig2_schedule.makespan
+        assert m.normalized_makespan >= 1.0
+        assert 0.0 <= m.mean_utilization <= 1.0
+        assert "makespan" in m.describe()

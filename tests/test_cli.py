@@ -1,0 +1,113 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import PRESETS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_presets_known(self):
+        expected = {
+            "paper-sample",
+            "small",
+            "fig3",
+            "fig4a",
+            "fig4b",
+            "fig5",
+            "fig6",
+            "fig7",
+        }
+        assert set(PRESETS) == expected
+
+
+class TestDescribe:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_describes_every_preset(self, preset, capsys):
+        assert main(["describe", "--preset", preset, "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "subtasks" in out
+
+
+class TestRun:
+    def test_se_run(self, capsys):
+        rc = main(
+            ["run", "--algo", "se", "--preset", "small", "--seed", "1",
+             "--iterations", "10"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SE finished" in out
+        assert "makespan" in out
+
+    def test_ga_run(self, capsys):
+        rc = main(
+            ["run", "--algo", "ga", "--preset", "small", "--seed", "1",
+             "--iterations", "5"]
+        )
+        assert rc == 0
+        assert "GA finished" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["heft", "minmin", "maxmin", "olb"])
+    def test_deterministic_algos(self, algo, capsys):
+        rc = main(["run", "--algo", algo, "--preset", "small", "--seed", "1"])
+        assert rc == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_random_run(self, capsys):
+        rc = main(
+            ["run", "--algo", "random", "--preset", "small", "--seed", "1",
+             "--iterations", "30"]
+        )
+        assert rc == 0
+
+    def test_gantt_flag(self, capsys):
+        rc = main(
+            ["run", "--algo", "heft", "--preset", "small", "--seed", "1",
+             "--gantt"]
+        )
+        assert rc == 0
+        assert "m0" in capsys.readouterr().out
+
+    def test_se_y_and_bias_flags(self, capsys):
+        rc = main(
+            ["run", "--algo", "se", "--preset", "small", "--seed", "1",
+             "--iterations", "5", "--y", "2", "--bias", "-0.1"]
+        )
+        assert rc == 0
+
+
+class TestCompareAndFigures:
+    def test_compare_small_budget(self, capsys):
+        rc = main(
+            ["compare", "--preset", "small", "--seed", "1",
+             "--budget", "0.3", "--points", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SE" in out and "GA" in out
+        assert "winner timeline" in out
+
+    def test_figure_3a(self, capsys):
+        rc = main(["figure", "3a", "--seed", "1", "--iterations", "10"])
+        assert rc == 0
+        assert "selected" in capsys.readouterr().out
+
+    def test_figure_4a_small(self, capsys):
+        rc = main(["figure", "4a", "--seed", "1", "--iterations", "3"])
+        assert rc == 0
+        assert "Y=5" in capsys.readouterr().out
+
+    def test_figure_5_small_budget(self, capsys):
+        rc = main(
+            ["figure", "5", "--seed", "1", "--budget", "0.4", "--points", "4"]
+        )
+        assert rc == 0
+        assert "SE" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9"])

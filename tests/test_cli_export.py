@@ -1,0 +1,108 @@
+"""Unit tests for the CLI export subcommand and package surface."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExport:
+    def test_workload_artifacts(self, tmp_path, capsys):
+        rc = main(
+            ["export", "--preset", "paper-sample", "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        workload_files = list(tmp_path.glob("*.workload.json"))
+        dot_files = list(tmp_path.glob("*.dot"))
+        assert len(workload_files) == 1
+        assert len(dot_files) == 1
+        doc = json.loads(workload_files[0].read_text())
+        assert doc["kind"] == "workload"
+        assert doc["num_tasks"] == 7
+        assert dot_files[0].read_text().startswith("digraph")
+
+    def test_schedule_artifacts(self, tmp_path, capsys):
+        rc = main(
+            [
+                "export", "--preset", "small", "--seed", "1",
+                "--out", str(tmp_path), "--schedule", "--iterations", "15",
+            ]
+        )
+        assert rc == 0
+        svg = list(tmp_path.glob("*.gantt.svg"))
+        sched = list(tmp_path.glob("*.schedule.json"))
+        trace = list(tmp_path.glob("*.trace.json"))
+        assert len(svg) == len(sched) == len(trace) == 1
+        ET.fromstring(svg[0].read_text())
+        assert json.loads(sched[0].read_text())["kind"] == "schedule"
+        assert json.loads(trace[0].read_text())["kind"] == "trace"
+        assert "SE best makespan" in capsys.readouterr().out
+
+    def test_exported_workload_loads_back(self, tmp_path, capsys):
+        from repro.io import load_json
+
+        main(["export", "--preset", "small", "--seed", "2", "--out", str(tmp_path)])
+        w = load_json(next(tmp_path.glob("*.workload.json")))
+        assert w.num_tasks == 20
+
+    def test_creates_output_dir(self, tmp_path, capsys):
+        target = tmp_path / "nested" / "dir"
+        rc = main(["export", "--preset", "small", "--out", str(target)])
+        assert rc == 0
+        assert target.is_dir()
+
+
+class TestRemainingFigures:
+    def test_figure_3b(self, capsys):
+        assert main(["figure", "3b", "--seed", "1", "--iterations", "5"]) == 0
+        assert "schedule length" in capsys.readouterr().out
+
+    def test_figure_4b(self, capsys):
+        assert main(["figure", "4b", "--seed", "1", "--iterations", "2"]) == 0
+        assert "Y=9" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("fig", ["6", "7"])
+    def test_figures_6_7(self, fig, capsys):
+        rc = main(
+            ["figure", fig, "--seed", "1", "--budget", "0.3", "--points", "3"]
+        )
+        assert rc == 0
+        assert "GA" in capsys.readouterr().out
+
+
+class TestPackageSurface:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.extensions
+        import repro.io
+        import repro.model
+        import repro.schedule
+        import repro.workloads
+
+        for pkg in (
+            repro.analysis,
+            repro.baselines,
+            repro.core,
+            repro.extensions,
+            repro.io,
+            repro.model,
+            repro.schedule,
+            repro.workloads,
+        ):
+            for name in pkg.__all__:
+                assert getattr(pkg, name) is not None, f"{pkg.__name__}.{name}"
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

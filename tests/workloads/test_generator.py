@@ -1,0 +1,141 @@
+"""Unit tests for DAG generators."""
+
+import pytest
+
+from repro.workloads.generator import (
+    CONNECTIVITY_EDGES_PER_TASK,
+    chain_dag,
+    fork_join_dag,
+    gnp_dag,
+    layered_dag,
+)
+
+
+class TestLayeredDag:
+    def test_task_count(self):
+        g = layered_dag(30, seed=1)
+        assert g.num_tasks == 30
+
+    def test_single_task(self):
+        g = layered_dag(1, seed=1)
+        assert g.num_tasks == 1
+        assert g.num_data_items == 0
+
+    def test_acyclic_by_construction(self):
+        for seed in range(10):
+            g = layered_dag(25, seed=seed)
+            assert g.is_valid_order(g.topological_order())
+
+    def test_every_non_entry_has_input(self):
+        g = layered_dag(40, num_levels=5, seed=2)
+        entries = set(g.entry_tasks())
+        for t in range(g.num_tasks):
+            if t not in entries:
+                assert g.predecessors(t), f"task {t} is isolated"
+
+    def test_levels_parameter_respected(self):
+        g = layered_dag(30, num_levels=6, seed=3)
+        # level count can only shrink if edges skip, but never exceeds
+        assert g.num_levels <= 6
+        assert g.num_levels >= 2
+
+    def test_connectivity_knob_monotone(self):
+        low = layered_dag(60, edges_per_task=1.0, seed=4)
+        high = layered_dag(60, edges_per_task=4.0, seed=4)
+        assert high.num_data_items > low.num_data_items
+
+    def test_connectivity_classes_defined(self):
+        assert set(CONNECTIVITY_EDGES_PER_TASK) == {"low", "medium", "high"}
+        assert (
+            CONNECTIVITY_EDGES_PER_TASK["low"]
+            < CONNECTIVITY_EDGES_PER_TASK["medium"]
+            < CONNECTIVITY_EDGES_PER_TASK["high"]
+        )
+
+    def test_sizes_in_range(self):
+        g = layered_dag(30, size_range=(2.0, 3.0), seed=5)
+        for d in g.data_items:
+            assert 2.0 <= d.size <= 3.0
+
+    def test_deterministic_per_seed(self):
+        a = layered_dag(30, seed=6)
+        b = layered_dag(30, seed=6)
+        assert [d.edge for d in a.data_items] == [d.edge for d in b.data_items]
+
+    def test_seeds_vary_structure(self):
+        a = layered_dag(30, seed=7)
+        b = layered_dag(30, seed=8)
+        assert [d.edge for d in a.data_items] != [d.edge for d in b.data_items]
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"num_tasks": 0}, "num_tasks"),
+            ({"num_tasks": 5, "edges_per_task": -1.0}, "edges_per_task"),
+            ({"num_tasks": 5, "locality": 1.5}, "locality"),
+            ({"num_tasks": 5, "size_range": (3.0, 1.0)}, "size_range"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            layered_dag(**kwargs)
+
+    def test_too_many_levels_clamped(self):
+        # more levels than tasks is clamped to one task per level
+        g = layered_dag(3, num_levels=10, seed=0)
+        assert g.num_tasks == 3
+        assert g.num_levels <= 3
+
+
+class TestGnpDag:
+    def test_acyclic(self):
+        for seed in range(10):
+            g = gnp_dag(15, 0.4, seed=seed)
+            assert g.is_valid_order(g.topological_order())
+
+    def test_probability_zero_no_edges(self):
+        assert gnp_dag(10, 0.0, seed=1).num_data_items == 0
+
+    def test_probability_one_total_order(self):
+        g = gnp_dag(6, 1.0, seed=1)
+        assert g.num_data_items == 6 * 5 // 2
+
+    def test_labels_not_trivially_sorted(self):
+        # with a random position permutation, some edge (u, v) with u > v
+        # appears almost surely in a dense draw
+        g = gnp_dag(12, 0.8, seed=3)
+        assert any(d.producer > d.consumer for d in g.data_items)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_tasks"):
+            gnp_dag(0, 0.5)
+        with pytest.raises(ValueError, match="edge_probability"):
+            gnp_dag(5, 1.5)
+
+
+class TestFixedShapes:
+    def test_chain(self):
+        g = chain_dag(5)
+        assert g.num_data_items == 4
+        assert g.num_levels == 5
+        assert g.entry_tasks() == (0,)
+        assert g.exit_tasks() == (4,)
+
+    def test_chain_single(self):
+        assert chain_dag(1).num_data_items == 0
+
+    def test_fork_join(self):
+        g = fork_join_dag(3)
+        assert g.num_tasks == 5
+        assert g.num_data_items == 6
+        assert g.entry_tasks() == (0,)
+        assert g.exit_tasks() == (4,)
+        assert g.num_levels == 3
+
+    def test_fork_join_validation(self):
+        with pytest.raises(ValueError, match="num_branches"):
+            fork_join_dag(0)
+
+    def test_chain_validation(self):
+        with pytest.raises(ValueError, match="num_tasks"):
+            chain_dag(0)
