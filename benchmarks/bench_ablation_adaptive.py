@@ -6,42 +6,55 @@ for B every iteration to hold the selection fraction at a target.  This
 ablation compares, at a fixed iteration budget on the Fig. 6 (CCR = 1)
 workload: the paper's large-problem guidance (+0.05), the calibrated
 fixed bias (−0.1), and adaptive targets of 10% and 25%.
+
+The four variants form one :mod:`repro.runner` experiment with a pinned
+SE seed; ``REPRO_WORKERS=N`` runs them concurrently.
 """
 
 from repro.analysis import markdown_table
 from repro.analysis.convergence import normalized_auc, stagnation
-from repro.core import SEConfig, run_se
-from repro.workloads import figure6_workload
+from repro.runner import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    run_experiment,
+    workers_from_env,
+)
+from repro.workloads import figure6_spec
 
 ITERATIONS = 120
 
+VARIANTS = {
+    "fixed B=+0.05 (paper, large)": {"selection_bias": 0.05},
+    "fixed B=-0.1 (calibrated)": {"selection_bias": -0.1},
+    "adaptive target 10%": {"adaptive_target": 0.10},
+    "adaptive target 25%": {"adaptive_target": 0.25},
+}
+
 
 def run_adaptive_ablation():
-    w = figure6_workload(seed=21)
-    variants = {
-        "fixed B=+0.05 (paper, large)": SEConfig(
-            seed=33, max_iterations=ITERATIONS, selection_bias=0.05
-        ),
-        "fixed B=-0.1 (calibrated)": SEConfig(
-            seed=33, max_iterations=ITERATIONS, selection_bias=-0.1
-        ),
-        "adaptive target 10%": SEConfig(
-            seed=33, max_iterations=ITERATIONS, adaptive_target=0.10
-        ),
-        "adaptive target 25%": SEConfig(
-            seed=33, max_iterations=ITERATIONS, adaptive_target=0.25
-        ),
-    }
+    experiment = ExperimentSpec(
+        name="abl-adapt",
+        algorithms={
+            name: AlgorithmSpec.make(
+                "se", seed=33, max_iterations=ITERATIONS, **params
+            )
+            for name, params in VARIANTS.items()
+        },
+        workloads=[figure6_spec(seed=21)],
+    )
+    result = run_experiment(experiment, workers=workers_from_env())
+
     rows = {}
-    for name, cfg in variants.items():
-        res = run_se(w, cfg)
-        sel = res.trace.selected_counts()
+    for name in VARIANTS:
+        cell = result.by_algorithm(name)[0]
+        trace = cell.convergence_trace()
+        sel = trace.selected_counts()
         rows[name] = {
-            "best": res.best_makespan,
-            "auc": normalized_auc(res.trace),
+            "best": cell.makespan,
+            "auc": normalized_auc(trace),
             "mean_selected": sum(sel) / len(sel),
-            "evaluations": res.evaluations,
-            "longest_stall": stagnation(res.trace).longest_streak,
+            "evaluations": cell.evaluations,
+            "longest_stall": stagnation(trace).longest_streak,
         }
     return rows
 

@@ -6,27 +6,43 @@ paper's literal description); ``per-machine`` tries one representative
 per distinct per-machine order (provably the same reachable schedule
 set).  This ablation measures the simulator-call savings and checks the
 equal-quality claim under a fixed seed.
+
+Both variants run through :mod:`repro.runner` as one experiment with a
+pinned SE seed, so the two trajectories are exactly comparable.
 """
 
 import pytest
 
 from repro.analysis import markdown_table
-from repro.core import SEConfig, run_se
-from repro.workloads import WorkloadSpec, build_workload
+from repro.runner import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    run_experiment,
+    workers_from_env,
+)
+from repro.workloads import WorkloadSpec
 
 ITERATIONS = 40
 
 
 def run_slot_comparison():
-    w = build_workload(WorkloadSpec(num_tasks=60, num_machines=12, seed=8))
-    out = {}
-    for slots in ("per-machine", "all-positions"):
-        res = run_se(
-            w,
-            SEConfig(seed=10, max_iterations=ITERATIONS, allocation_slots=slots),
-        )
-        out[slots] = res
-    return out
+    experiment = ExperimentSpec(
+        name="abl-slot",
+        algorithms={
+            slots: AlgorithmSpec.make(
+                "se",
+                seed=10,
+                max_iterations=ITERATIONS,
+                allocation_slots=slots,
+            )
+            for slots in ("per-machine", "all-positions")
+        },
+        workloads=[
+            WorkloadSpec(num_tasks=60, num_machines=12, seed=8, name="abl")
+        ],
+    )
+    result = run_experiment(experiment, workers=workers_from_env())
+    return {c.algorithm: c for c in result}
 
 
 def test_slot_ablation_equivalence_and_savings(benchmark, write_output):
@@ -37,8 +53,8 @@ def test_slot_ablation_equivalence_and_savings(benchmark, write_output):
     table = markdown_table(
         ["strategy", "best makespan", "evaluations", "iterations"],
         [
-            ("per-machine", f"{pm.best_makespan:.1f}", pm.evaluations, pm.iterations),
-            ("all-positions", f"{ap.best_makespan:.1f}", ap.evaluations, ap.iterations),
+            ("per-machine", f"{pm.makespan:.1f}", pm.evaluations, pm.iterations),
+            ("all-positions", f"{ap.makespan:.1f}", ap.evaluations, ap.iterations),
         ],
     )
     savings = 1 - pm.evaluations / ap.evaluations
@@ -48,12 +64,12 @@ def test_slot_ablation_equivalence_and_savings(benchmark, write_output):
         f"simulator-call savings of per-machine slots: {savings:.1%}\n"
         "claim: identical reachable schedules, identical greedy choice under "
         "a fixed seed, strictly fewer evaluations\n"
-        f"matches: {pm.best_makespan == pytest.approx(ap.best_makespan) and pm.evaluations < ap.evaluations}\n"
+        f"matches: {pm.makespan == pytest.approx(ap.makespan) and pm.evaluations < ap.evaluations}\n"
     )
     write_output("ablation_allocation_slots", text)
 
     # same seed + same candidate set => identical search trajectory
-    assert pm.best_makespan == pytest.approx(ap.best_makespan)
+    assert pm.makespan == pytest.approx(ap.makespan)
     assert pm.evaluations < ap.evaluations
 
 
@@ -62,6 +78,7 @@ def test_micro_allocation_step(benchmark):
     from repro.core.allocation import Allocator
     from repro.schedule.operations import random_valid_string
     from repro.schedule.simulator import Simulator
+    from repro.workloads import build_workload
 
     w = build_workload(WorkloadSpec(num_tasks=60, num_machines=12, seed=8))
     sim = Simulator(w)

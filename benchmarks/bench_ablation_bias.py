@@ -4,40 +4,64 @@ The paper prescribes negative B (−0.1..−0.3) for small DAGs (thorough
 search) and positive B (0..0.1) for large DAGs (fewer selections, faster
 iterations).  This ablation sweeps B on a small and a large workload and
 records the selection volume / quality / cost trade-off.
+
+The 12-cell (bias × workload) sweep is one :mod:`repro.runner`
+experiment; ``REPRO_WORKERS=N`` shards it with identical results.
 """
 
 from repro.analysis import markdown_table
-from repro.core import SEConfig, run_se
-from repro.workloads import WorkloadSpec, build_workload
+from repro.runner import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    run_experiment,
+    workers_from_env,
+)
+from repro.workloads import WorkloadSpec
 
 BIASES = (-0.3, -0.2, -0.1, 0.0, 0.05, 0.1)
 ITERATIONS = 60
 
+WORKLOADS = [
+    WorkloadSpec(num_tasks=20, num_machines=5, seed=3, name="small"),
+    WorkloadSpec(num_tasks=100, num_machines=20, seed=3, name="large"),
+]
+
 
 def run_bias_sweep():
+    experiment = ExperimentSpec(
+        name="abl-bias",
+        algorithms={
+            f"B={bias:g}": AlgorithmSpec.make(
+                "se",
+                seed=9,
+                max_iterations=ITERATIONS,
+                selection_bias=bias,
+            )
+            for bias in BIASES
+        },
+        workloads=WORKLOADS,
+    )
+    result = run_experiment(experiment, workers=workers_from_env())
+
     results = {}
-    for label, spec in (
-        ("small", WorkloadSpec(num_tasks=20, num_machines=5, seed=3)),
-        ("large", WorkloadSpec(num_tasks=100, num_machines=20, seed=3)),
-    ):
-        w = build_workload(spec)
+    for w in WORKLOADS:
         rows = []
         for bias in BIASES:
-            res = run_se(
-                w,
-                SEConfig(
-                    seed=9, max_iterations=ITERATIONS, selection_bias=bias
-                ),
+            cell = next(
+                c
+                for c in result.by_algorithm(f"B={bias:g}")
+                if c.workload == w.name
             )
+            trace = cell.convergence_trace()
             rows.append(
                 {
                     "bias": bias,
-                    "best": res.best_makespan,
-                    "selected_total": sum(res.trace.selected_counts()),
-                    "evaluations": res.evaluations,
+                    "best": cell.makespan,
+                    "selected_total": sum(trace.selected_counts()),
+                    "evaluations": cell.evaluations,
                 }
             )
-        results[label] = rows
+        results[w.name] = rows
     return results
 
 

@@ -4,29 +4,38 @@ heuristics across the workload classification grid.
 Not a figure from the paper (its evaluation compares SE and GA only);
 this grid positions both against HEFT / Min-min / Max-min / OLB / random
 search so downstream users can see where the metaheuristics pay off.
+
+All 56 (workload, algorithm) cells run through
+:func:`repro.analysis.grid.run_grid` backed by :mod:`repro.runner` —
+``REPRO_WORKERS=N`` shards them across N processes with identical
+results (every algorithm here is iteration-capped, not wall-clock-
+capped).
 """
 
 from collections import defaultdict
 
 from repro.analysis import geometric_mean, markdown_table
-from repro.baselines import (
-    GAConfig,
-    heft,
-    max_min,
-    min_min,
-    olb,
-    random_search,
-    run_ga,
-)
-from repro.core import SEConfig, run_se
-from repro.schedule.metrics import normalized_makespan
+from repro.analysis.grid import run_grid
+from repro.runner import AlgorithmSpec, workers_from_env
 from repro.workloads import WorkloadSuite
 
 SE_ITERS = 60
 GA_GENS = 80
 
+ALGORITHMS = {
+    "SE": AlgorithmSpec.make("se", seed=1, max_iterations=SE_ITERS),
+    "GA": AlgorithmSpec.make(
+        "ga", seed=1, max_generations=GA_GENS, stall_generations=None
+    ),
+    "HEFT": AlgorithmSpec.make("heft"),
+    "Min-min": AlgorithmSpec.make("minmin"),
+    "Max-min": AlgorithmSpec.make("maxmin"),
+    "OLB": AlgorithmSpec.make("olb"),
+    "Random": AlgorithmSpec.make("random", samples=500, seed=1),
+}
 
-def run_grid():
+
+def run_baseline_grid():
     suite = WorkloadSuite(
         num_tasks=40,
         num_machines=8,
@@ -36,34 +45,33 @@ def run_grid():
         replicates=1,
         seed=77,
     )
-    algorithms = {
-        "SE": lambda w: run_se(
-            w, SEConfig(seed=1, max_iterations=SE_ITERS)
-        ).best_makespan,
-        "GA": lambda w: run_ga(
-            w, GAConfig(seed=1, max_generations=GA_GENS, stall_generations=None)
-        ).best_makespan,
-        "HEFT": lambda w: heft(w).makespan,
-        "Min-min": lambda w: min_min(w).makespan,
-        "Max-min": lambda w: max_min(w).makespan,
-        "OLB": lambda w: olb(w).makespan,
-        "Random": lambda w: random_search(w, samples=500, seed=1).makespan,
-    }
+    grid = run_grid(suite, ALGORITHMS, workers=workers_from_env())
+
+    names = list(ALGORITHMS)
+    by_workload = defaultdict(dict)
+    for cell in grid.cells:
+        by_workload[cell.workload_name][cell.algorithm] = cell
     rows = []
     slr = defaultdict(list)
-    for cell in suite:
-        w = cell.build()
-        row = [w.classification.describe()]
-        for name, fn in algorithms.items():
-            n = normalized_makespan(w, fn(w))
+    for wname in sorted(by_workload):
+        cells = by_workload[wname]
+        label = (
+            f"{cells[names[0]].connectivity}conn/"
+            f"{cells[names[0]].heterogeneity}het/ccr{cells[names[0]].ccr:g}"
+        )
+        row = [label]
+        for name in names:
+            n = cells[name].normalized
             slr[name].append(n)
             row.append(f"{n:.2f}")
         rows.append(row)
-    return list(algorithms), rows, slr
+    return names, rows, slr
 
 
 def test_baseline_grid(benchmark, write_output):
-    names, rows, slr = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    names, rows, slr = benchmark.pedantic(
+        run_baseline_grid, rounds=1, iterations=1
+    )
 
     league = sorted((geometric_mean(v), k) for k, v in slr.items())
     text = (

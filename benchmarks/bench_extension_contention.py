@@ -5,28 +5,59 @@
   machine model?  High-CCR schedules should be the most sensitive.
 * Hybrid warm start: how much does seeding SE with HEFT help at a small
   iteration budget compared to the paper's random initial solution?
+
+Both studies fan out through :mod:`repro.runner`; the winning schedule
+strings travel back in the cells' ``extras`` payload so the contention
+penalty can be recomputed in-process.
 """
 
 from repro.analysis import markdown_table
-from repro.baselines import heft
-from repro.core import SEConfig, run_se
 from repro.extensions.contention import contention_penalty
-from repro.extensions.hybrid import heft_seeded_se
+from repro.runner import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    run_experiment,
+    workers_from_env,
+)
+from repro.schedule import ScheduleString
 from repro.workloads import WorkloadSpec, build_workload
+
+CCRS = (0.1, 0.5, 1.0)
+
+
+def _best_string(cell, num_machines):
+    doc = cell.extras["best_string"]
+    return ScheduleString(doc["order"], doc["machines"], num_machines)
 
 
 def run_contention_study():
-    rows = []
-    for ccr in (0.1, 0.5, 1.0):
-        w = build_workload(
-            WorkloadSpec(num_tasks=50, num_machines=8, ccr=ccr, seed=13)
+    workloads = [
+        WorkloadSpec(
+            num_tasks=50, num_machines=8, ccr=ccr, seed=13, name=f"ccr{ccr:g}"
         )
-        se = run_se(w, SEConfig(seed=2, max_iterations=60))
+        for ccr in CCRS
+    ]
+    experiment = ExperimentSpec(
+        name="ext-cont",
+        algorithms={
+            "SE": AlgorithmSpec.make("se", seed=2, max_iterations=60),
+            "HEFT": AlgorithmSpec.make("heft"),
+        },
+        workloads=workloads,
+    )
+    result = run_experiment(
+        experiment, workers=workers_from_env(), keep_traces=False
+    )
+    rows = []
+    for spec in workloads:
+        w = build_workload(spec)
+        heft_cell = result.cell("HEFT", spec.name)
+        se_cell = result.cell("SE", spec.name)
         rows.append(
             (
-                ccr,
-                contention_penalty(w, heft(w).string),
-                contention_penalty(w, se.best_string),
+                spec.ccr,
+                contention_penalty(w, _best_string(heft_cell, w.num_machines)),
+                contention_penalty(w, _best_string(se_cell, w.num_machines)),
             )
         )
     return rows
@@ -54,17 +85,36 @@ def test_contention_sensitivity(benchmark, write_output):
 
 
 def run_hybrid_study():
+    workloads = [
+        WorkloadSpec(num_tasks=60, num_machines=10, seed=s, name=f"w{s}")
+        for s in (41, 42, 43)
+    ]
+    experiment = ExperimentSpec(
+        name="ext-hybrid",
+        algorithms={
+            "HEFT": AlgorithmSpec.make("heft"),
+            "SE cold": AlgorithmSpec.make("se", max_iterations=30),
+            "SE warm": AlgorithmSpec.make("hybrid", max_iterations=30),
+        },
+        workloads=workloads,
+        seeds=(1,),
+        # cold and warm SE must draw the same stream per workload so the
+        # comparison isolates the warm start, not seed noise
+        seed_mode="paired",
+    )
+    result = run_experiment(
+        experiment, workers=workers_from_env(), keep_traces=False
+    )
     rows = []
-    for seed in (1, 2, 3):
-        w = build_workload(
-            WorkloadSpec(num_tasks=60, num_machines=10, seed=40 + seed)
+    for spec in workloads:
+        rows.append(
+            (
+                spec.seed,
+                result.cell("HEFT", spec.name).makespan,
+                result.cell("SE cold", spec.name).makespan,
+                result.cell("SE warm", spec.name).makespan,
+            )
         )
-        base = heft(w).makespan
-        cold = run_se(w, SEConfig(seed=seed, max_iterations=30)).best_makespan
-        warm = heft_seeded_se(
-            w, SEConfig(seed=seed, max_iterations=30)
-        ).best_makespan
-        rows.append((40 + seed, base, cold, warm))
     return rows
 
 

@@ -4,27 +4,42 @@ The paper monitors, on a large / high-connectivity workload, (a) the
 number of selected subtasks per iteration and (b) the current schedule
 length per iteration.  Expected shapes: the selected count starts large
 and decays to a small residual; the schedule length decreases.
+
+Runs through :mod:`repro.runner` (one SE cell with its convergence
+trace); ``REPRO_WORKERS=N`` is honoured like in every other benchmark,
+although a single cell cannot exploit it.
 """
 
 from repro.analysis import Series, line_plot
-from repro.core import SEConfig, run_se
-from repro.workloads import figure3_workload
+from repro.runner import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    run_experiment,
+    workers_from_env,
+)
+from repro.workloads import figure3_spec
 
 ITERATIONS = 300
 SEED = 11
 
 
 def run_fig3():
-    workload = figure3_workload(seed=SEED)
-    return workload, run_se(
-        workload, SEConfig(seed=4, max_iterations=ITERATIONS)
+    spec = ExperimentSpec(
+        name="fig3",
+        algorithms={
+            "SE": AlgorithmSpec.make("se", max_iterations=ITERATIONS, seed=4)
+        },
+        workloads=[figure3_spec(seed=SEED)],
     )
+    result = run_experiment(spec, workers=workers_from_env())
+    cell = result.by_algorithm("SE")[0]
+    return cell, cell.convergence_trace()
 
 
 def test_fig3a_selected_subtasks(benchmark, write_output):
-    workload, result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
-    trace = result.trace
+    cell, trace = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
     sel = trace.selected_counts()
+    num_tasks = cell.num_tasks
 
     chart = line_plot(
         [Series("selected subtasks", trace.iterations(), sel)],
@@ -37,19 +52,18 @@ def test_fig3a_selected_subtasks(benchmark, write_output):
     verdict = (
         f"paper: starts large, decays to a small residual\n"
         f"measured: first={sel[0]} mean(first 10)={early:.1f} "
-        f"mean(last 10)={late:.1f} of k={workload.num_tasks}\n"
-        f"matches: {sel[0] >= workload.num_tasks // 4 and late < early / 2}\n"
+        f"mean(last 10)={late:.1f} of k={num_tasks}\n"
+        f"matches: {sel[0] >= num_tasks // 4 and late < early / 2}\n"
     )
     write_output("fig3a_selected_subtasks", chart + "\n\n" + verdict)
 
     # loose invariants only (strict verdict recorded above)
-    assert sel[0] >= workload.num_tasks // 4
+    assert sel[0] >= num_tasks // 4
     assert late < early
 
 
 def test_fig3b_schedule_length(benchmark, write_output):
-    workload, result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
-    trace = result.trace
+    cell, trace = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
     cur = trace.current_makespans()
 
     chart = line_plot(
@@ -61,11 +75,11 @@ def test_fig3b_schedule_length(benchmark, write_output):
     verdict = (
         f"paper: schedule length of the current solution decreases\n"
         f"measured: first={cur[0]:.1f} last={cur[-1]:.1f} "
-        f"best={result.best_makespan:.1f} "
+        f"best={cell.makespan:.1f} "
         f"improvement={cur[0] / cur[-1]:.2f}x\n"
         f"matches: {cur[-1] < cur[0]}\n"
     )
     write_output("fig3b_schedule_length", chart + "\n\n" + verdict)
 
     assert cur[-1] < cur[0]
-    assert result.best_makespan <= min(cur) + 1e-9
+    assert cell.makespan <= min(cur) + 1e-9

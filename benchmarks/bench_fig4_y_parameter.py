@@ -8,7 +8,7 @@ high (4b) heterogeneity.  Paper expectations:
   makes solutions *worse* over the first ~1000 iterations.
 
 Single-seed SE runs are noisy, so the benchmark averages final quality
-over a few seeds for the recorded verdict and asserts only loose
+over a few replicates for the recorded verdict and asserts only loose
 invariants (timing must grow with Y; results must be finite/feasible).
 
 SE runs with ``selection_bias = -0.1``: sustained selection pressure is
@@ -16,40 +16,64 @@ required for the Y parameter to matter at all — with the §4.4 positive
 large-problem bias, goodness saturates after early convergence, almost
 nothing is selected, and every Y collapses to the same local optimum
 (see EXPERIMENTS.md, calibration notes).
+
+The Y × replicate product runs through :mod:`repro.runner` as one
+experiment (``zip`` pairing: one workload draw per replicate seed;
+``seed_mode="paired"`` so every Y value sees the *same* RNG stream per
+replicate — Y's effect is not confounded with seed noise), so
+``REPRO_WORKERS=N`` shards the nine SE runs across processes with
+identical results.
 """
 
-BIAS = -0.1
+from dataclasses import replace
 
 from repro.analysis import Series, line_plot, summarize
-from repro.core import SEConfig, run_se
-from repro.workloads import figure4a_workload, figure4b_workload
+from repro.runner import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    run_experiment,
+    workers_from_env,
+)
+from repro.workloads import figure4a_spec, figure4b_spec
 
+BIAS = -0.1
 Y_VALUES = (5, 9, 12)
 ITERATIONS = 120
 SEEDS = (5, 6, 7)
 
 
-def run_y_study(workload_factory):
-    """For each Y: traces of seed[0] plus final bests over all seeds."""
+def run_y_study(spec_factory):
+    """For each Y: trace of the first replicate plus final bests of all."""
+    experiment = ExperimentSpec(
+        name="fig4",
+        algorithms={
+            f"Y={y}": AlgorithmSpec.make(
+                "se",
+                max_iterations=ITERATIONS,
+                y_candidates=y,
+                selection_bias=BIAS,
+            )
+            for y in Y_VALUES
+        },
+        workloads=[
+            replace(w, name=f"{w.name}-r{s}")
+            for s in SEEDS
+            for w in (spec_factory(seed=100 + s),)
+        ],
+        seeds=SEEDS,
+        pairing="zip",
+        seed_mode="paired",
+    )
+    result = run_experiment(experiment, workers=workers_from_env())
+
     traces = {}
     finals = {y: [] for y in Y_VALUES}
     evals = {}
     for y in Y_VALUES:
-        for seed in SEEDS:
-            w = workload_factory(seed=100 + seed)
-            res = run_se(
-                w,
-                SEConfig(
-                    seed=seed,
-                    max_iterations=ITERATIONS,
-                    y_candidates=y,
-                    selection_bias=BIAS,
-                ),
-            )
-            finals[y].append(res.best_makespan)
-            if seed == SEEDS[0]:
-                traces[y] = res.trace
-                evals[y] = res.evaluations
+        cells = result.by_algorithm(f"Y={y}")
+        finals[y] = [c.makespan for c in cells]
+        traces[y] = cells[0].convergence_trace()
+        evals[y] = cells[0].evaluations
     return traces, finals, evals
 
 
@@ -68,7 +92,7 @@ def render(tag, title, traces, finals, evals, expectation, matches):
         s = summarize(finals[y])
         lines.append(
             f"Y={y:>2}: final best mean={s.mean:.1f} ± {s.std:.1f} "
-            f"(seed-0 evaluations {evals[y]})"
+            f"(replicate-0 evaluations {evals[y]})"
         )
     lines.append(f"matches: {matches}")
     return "\n".join(lines) + "\n"
@@ -76,7 +100,7 @@ def render(tag, title, traces, finals, evals, expectation, matches):
 
 def test_fig4a_low_heterogeneity(benchmark, write_output):
     traces, finals, evals = benchmark.pedantic(
-        run_y_study, args=(figure4a_workload,), rounds=1, iterations=1
+        run_y_study, args=(figure4a_spec,), rounds=1, iterations=1
     )
     mean = {y: sum(v) / len(v) for y, v in finals.items()}
     matches = mean[12] <= mean[5]
@@ -99,7 +123,7 @@ def test_fig4a_low_heterogeneity(benchmark, write_output):
 
 def test_fig4b_high_heterogeneity(benchmark, write_output):
     traces, finals, evals = benchmark.pedantic(
-        run_y_study, args=(figure4b_workload,), rounds=1, iterations=1
+        run_y_study, args=(figure4b_spec,), rounds=1, iterations=1
     )
     mean = {y: sum(v) / len(v) for y, v in finals.items()}
     # paper: best Y is intermediate; larger Y not reliably better

@@ -5,8 +5,9 @@ better schedules than the GA early; as time grows the curves approach
 each other.
 """
 
-from repro.analysis import Series, line_plot, se_vs_ga
-from repro.workloads import figure5_workload
+from repro.analysis import Series, line_plot, head_to_head_experiment
+from repro.runner import workers_from_env
+from repro.workloads import figure5_spec
 
 BUDGET_SECONDS = 6.0
 GRID_POINTS = 12
@@ -14,9 +15,13 @@ SEED = 21
 
 
 def run_fig5():
-    workload = figure5_workload(seed=SEED)
-    return workload, se_vs_ga(
-        workload, time_budget=BUDGET_SECONDS, grid_points=GRID_POINTS, seed=33
+    workload = figure5_spec(seed=SEED)
+    return workload, head_to_head_experiment(
+        workload,
+        time_budget=BUDGET_SECONDS,
+        grid_points=GRID_POINTS,
+        seed=33,
+        workers=workers_from_env(),
     )
 
 

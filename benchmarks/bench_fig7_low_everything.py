@@ -6,8 +6,9 @@ benchmark therefore records who led when, and only asserts that both
 algorithms stayed within a sane band of each other.
 """
 
-from repro.analysis import Series, line_plot, se_vs_ga
-from repro.workloads import figure7_workload
+from repro.analysis import Series, line_plot, head_to_head_experiment
+from repro.runner import workers_from_env
+from repro.workloads import figure7_spec
 
 BUDGET_SECONDS = 6.0
 GRID_POINTS = 12
@@ -15,9 +16,13 @@ SEED = 21
 
 
 def run_fig7():
-    workload = figure7_workload(seed=SEED)
-    return workload, se_vs_ga(
-        workload, time_budget=BUDGET_SECONDS, grid_points=GRID_POINTS, seed=35
+    workload = figure7_spec(seed=SEED)
+    return workload, head_to_head_experiment(
+        workload,
+        time_budget=BUDGET_SECONDS,
+        grid_points=GRID_POINTS,
+        seed=35,
+        workers=workers_from_env(),
     )
 
 

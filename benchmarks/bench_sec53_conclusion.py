@@ -9,39 +9,38 @@
 This benchmark runs SE and the GA under a shared wall-clock budget on a
 connectivity × heterogeneity × CCR grid and prints SE's win/loss record
 conditioned on each axis value — the sentence above, as data.
-"""
 
-from dataclasses import replace
+The whole grid goes through :func:`repro.analysis.grid.run_grid` backed
+by :mod:`repro.runner`; ``REPRO_WORKERS=N`` shards the 16 wall-clock
+runs across processes (note that co-scheduling time-budgeted runs on an
+oversubscribed machine can shift who wins a close cell).
+"""
 
 from repro.analysis.compare import COMPARISON_SE_BIAS
 from repro.analysis.grid import run_grid
-from repro.baselines import GAConfig, GeneticAlgorithm
-from repro.core import SEConfig, SimulatedEvolution
+from repro.runner import AlgorithmSpec, workers_from_env
 from repro.workloads import WorkloadSuite
 
 BUDGET_SECONDS = 1.5  # per algorithm per workload
 GRID_TASKS = 40
 GRID_MACHINES = 8
 
-
-def se_makespan(workload) -> float:
-    cfg = SEConfig(
+ALGORITHMS = {
+    "SE": AlgorithmSpec.make(
+        "se",
         seed=5,
         selection_bias=COMPARISON_SE_BIAS,
         max_iterations=10**9,
         time_limit=BUDGET_SECONDS,
-    )
-    return SimulatedEvolution(cfg).run(workload).best_makespan
-
-
-def ga_makespan(workload) -> float:
-    cfg = GAConfig(
+    ),
+    "GA": AlgorithmSpec.make(
+        "ga",
         seed=6,
         max_generations=10**9,
         stall_generations=None,
         time_limit=BUDGET_SECONDS,
-    )
-    return GeneticAlgorithm(cfg).run(workload).best_makespan
+    ),
+}
 
 
 def run_conclusion_grid():
@@ -54,7 +53,7 @@ def run_conclusion_grid():
         replicates=2,
         seed=11,
     )
-    return run_grid(suite, {"SE": se_makespan, "GA": ga_makespan})
+    return run_grid(suite, ALGORITHMS, workers=workers_from_env())
 
 
 def test_sec53_conclusion(benchmark, write_output):

@@ -14,16 +14,43 @@ generators over the paper's three classification axes (connectivity,
 heterogeneity, CCR), and a benchmark harness regenerating every figure
 of the paper's evaluation section.
 
-Quickstart::
+Quickstart (executable — CI runs it under ``--doctest-modules``):
 
-    import repro
+    >>> import repro
+    >>> workload = repro.workloads.small_workload(seed=7)
+    >>> result = repro.run_se(workload, repro.SEConfig(seed=7, max_iterations=30))
+    >>> result.iterations
+    30
+    >>> result.best_makespan < repro.baselines.olb(workload).makespan
+    True
 
-    workload = repro.workloads.figure5_workload(seed=7)
-    result = repro.run_se(workload, repro.SEConfig(seed=7, max_iterations=200))
-    print(result.best_makespan)
+Paper-scale experiments swap in ``repro.workloads.figure5_workload`` (100
+tasks, 20 machines) and more iterations; sweeps over many workloads and
+seeds go through :mod:`repro.runner`:
+
+    >>> from repro.runner import AlgorithmSpec, ExperimentSpec, run_experiment
+    >>> spec = ExperimentSpec(
+    ...     name="quickstart",
+    ...     algorithms={"SE": AlgorithmSpec.make("se", max_iterations=20),
+    ...                 "HEFT": AlgorithmSpec.make("heft")},
+    ...     workloads=[repro.workloads.small_spec(seed=s) for s in (1,)],
+    ...     seeds=(0, 1),
+    ... )
+    >>> result = run_experiment(spec, workers=2)  # same output for any workers
+    >>> sorted(set(c.algorithm for c in result))
+    ['HEFT', 'SE']
 """
 
-from repro import analysis, baselines, extensions, io, model, schedule, workloads
+from repro import (
+    analysis,
+    baselines,
+    extensions,
+    io,
+    model,
+    runner,
+    schedule,
+    workloads,
+)
 from repro.baselines import (
     GAConfig,
     GAResult,
@@ -66,6 +93,7 @@ __all__ = [
     "extensions",
     "io",
     "model",
+    "runner",
     "schedule",
     "workloads",
     "GAConfig",

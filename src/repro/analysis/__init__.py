@@ -3,8 +3,10 @@
 from repro.analysis.ascii_plot import Series, line_plot, sparkline
 from repro.analysis.grid import (
     Algorithm,
+    GridAlgorithm,
     GridCellResult,
     GridResult,
+    grid_from_experiment,
     run_grid,
 )
 from repro.analysis.convergence import (
@@ -21,9 +23,11 @@ from repro.analysis.compare import (
     ComparisonSeries,
     compare_algorithms,
     ga_runner,
+    head_to_head_experiment,
     make_time_grid,
     se_runner,
     se_vs_ga,
+    series_from_trace,
 )
 from repro.analysis.report import (
     ExperimentRecord,
@@ -49,9 +53,11 @@ __all__ = [
     "ComparisonSeries",
     "compare_algorithms",
     "ga_runner",
+    "head_to_head_experiment",
     "make_time_grid",
     "se_runner",
     "se_vs_ga",
+    "series_from_trace",
     "ExperimentRecord",
     "markdown_table",
     "render_report",
@@ -71,7 +77,9 @@ __all__ = [
     "stagnation",
     "time_to_target",
     "Algorithm",
+    "GridAlgorithm",
     "GridCellResult",
     "GridResult",
+    "grid_from_experiment",
     "run_grid",
 ]

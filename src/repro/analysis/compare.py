@@ -224,3 +224,110 @@ def se_vs_ga(
         time_budget=time_budget,
         grid_points=grid_points,
     )
+
+
+def series_from_trace(
+    name: str,
+    trace: ConvergenceTrace,
+    time_grid: Sequence[float],
+) -> ComparisonSeries:
+    """Sample one trace's best-so-far curve on *time_grid*."""
+    grid = tuple(time_grid)
+    return ComparisonSeries(
+        name=name,
+        time_grid=grid,
+        best_at=tuple(trace.best_at_time(t) for t in grid),
+        final_best=trace.final_best() if len(trace) else float("inf"),
+        iterations=len(trace),
+    )
+
+
+def head_to_head_experiment(
+    workload,
+    time_budget: float,
+    algorithms: Optional[Mapping[str, Mapping]] = None,
+    grid_points: int = 20,
+    seed: int = 0,
+    workers: int = 1,
+    cache_dir=None,
+    progress=None,
+) -> ComparisonResult:
+    """The runner-backed head-to-head (Figs. 5-7 through :mod:`repro.runner`).
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.workloads.presets.WorkloadSpec` *recipe* — the
+        workload is rebuilt inside each worker process.
+    algorithms:
+        Display name → extra registry params; defaults to the paper's
+        pairing ``{"SE": ..., "GA": ...}`` with the calibrated
+        ``COMPARISON_SE_BIAS``.  Every algorithm gets ``time_limit=
+        time_budget`` with iteration caps lifted, exactly like
+        :func:`se_runner` / :func:`ga_runner`.
+    workers:
+        With ``workers > 1`` the contenders run concurrently in separate
+        processes.  RNG streams stay deterministic; note that for
+        *wall-clock-budget* runs the stopping instant is physical time,
+        so co-scheduling can shift how far each contender gets — use the
+        default serial mode for paper-grade timing comparisons.
+    """
+    from repro.runner import AlgorithmSpec, ExperimentSpec, run_experiment
+
+    if algorithms is None:
+        algorithms = {"SE": {}, "GA": {}}
+    algo_specs = {}
+    for name, extra in algorithms.items():
+        params = dict(extra)
+        kind = params.pop("kind", name.lower())
+        if kind == "se":
+            base = {
+                "time_limit": time_budget,
+                "max_iterations": 10**9,
+                "selection_bias": COMPARISON_SE_BIAS,
+            }
+        elif kind == "ga":
+            base = {
+                "time_limit": time_budget,
+                "max_generations": 10**9,
+                "stall_generations": None,
+            }
+        else:
+            base = {}
+        base.update(params)
+        algo_specs[name] = AlgorithmSpec.make(kind, **base)
+
+    spec = ExperimentSpec(
+        name=f"head-to-head-{workload.name or 'workload'}",
+        algorithms=algo_specs,
+        workloads=[workload],
+        seeds=(seed,),
+        base_seed=seed,
+    )
+    result = run_experiment(
+        spec,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        keep_traces=True,
+    )
+    grid = make_time_grid(time_budget, grid_points)
+
+    def cell_series(cell) -> ComparisonSeries:
+        if cell.trace is None:
+            # deterministic heuristic: done before the first sample point
+            return ComparisonSeries(
+                name=cell.algorithm,
+                time_grid=grid,
+                best_at=tuple(cell.makespan for _ in grid),
+                final_best=cell.makespan,
+                iterations=max(cell.iterations, 1),
+            )
+        return series_from_trace(cell.algorithm, cell.convergence_trace(), grid)
+
+    series = tuple(cell_series(cell) for cell in result)
+    return ComparisonResult(
+        workload_name=workload.name or "workload",
+        time_budget=time_budget,
+        series=series,
+    )

@@ -7,22 +7,36 @@ turns that kind of claim into a computed object: run a set of algorithms
 over a :class:`~repro.workloads.suite.WorkloadSuite`, aggregate
 normalized makespans per classification axis, and report win/loss
 records between any two algorithms conditioned on a class value.
+
+Execution goes through :mod:`repro.runner`: pass algorithms as
+:class:`~repro.runner.spec.AlgorithmSpec` values and :func:`run_grid`
+fans the whole grid out over ``workers`` processes with optional
+resume-from-cache.  Plain ``workload -> makespan`` callables are still
+accepted for ad-hoc in-process experiments (they cannot cross process
+boundaries, so they imply ``workers=1``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.analysis.report import markdown_table
 from repro.analysis.stats import WinLossRecord, geometric_mean, win_loss
 from repro.model.workload import Workload
+from repro.runner.pool import ProgressFn, run_experiment
+from repro.runner.results import ExperimentResult
+from repro.runner.spec import AlgorithmSpec, ExperimentSpec
 from repro.schedule.metrics import normalized_makespan
 from repro.workloads.suite import WorkloadSuite
 
-#: An algorithm for the grid: workload -> makespan.
+#: An in-process algorithm for the grid: workload -> makespan.
 Algorithm = Callable[[Workload], float]
+
+#: Grid entries are either registry specs (parallelisable) or callables.
+GridAlgorithm = Union[AlgorithmSpec, Algorithm]
 
 
 @dataclass(frozen=True)
@@ -54,17 +68,28 @@ class GridResult:
     def _pairs(
         self, algo_a: str, algo_b: str, predicate=None
     ) -> tuple[list[float], list[float]]:
-        by_workload: dict[str, dict[str, GridCellResult]] = defaultdict(dict)
+        # A workload may carry several replicates per algorithm (one per
+        # experiment seed, in canonical seed order); pair them index-wise
+        # so every replicate contributes one comparison.  Workloads where
+        # the two algorithms have different replicate counts (e.g. a
+        # partially merged shard) cannot be paired reliably and are
+        # skipped, matching the old incomplete-workload behaviour.
+        by_workload: dict[str, dict[str, list[GridCellResult]]] = (
+            defaultdict(lambda: defaultdict(list))
+        )
         for c in self.cells:
-            by_workload[c.workload_name][c.algorithm] = c
+            by_workload[c.workload_name][c.algorithm].append(c)
         a_vals, b_vals = [], []
         for cells in by_workload.values():
             if algo_a not in cells or algo_b not in cells:
                 continue
-            if predicate is not None and not predicate(cells[algo_a]):
+            if len(cells[algo_a]) != len(cells[algo_b]):
                 continue
-            a_vals.append(cells[algo_a].makespan)
-            b_vals.append(cells[algo_b].makespan)
+            for ca, cb in zip(cells[algo_a], cells[algo_b]):
+                if predicate is not None and not predicate(ca):
+                    continue
+                a_vals.append(ca.makespan)
+                b_vals.append(cb.makespan)
         return a_vals, b_vals
 
     def win_loss(
@@ -132,27 +157,86 @@ class GridResult:
         )
 
 
+def grid_from_experiment(result: ExperimentResult) -> GridResult:
+    """Project an :class:`ExperimentResult` onto the grid view."""
+    grid = GridResult()
+    for c in result:
+        grid.cells.append(
+            GridCellResult(
+                workload_name=c.workload,
+                connectivity=c.connectivity,
+                heterogeneity=c.heterogeneity,
+                ccr=c.ccr,
+                algorithm=c.algorithm,
+                makespan=c.makespan,
+                normalized=c.normalized,
+            )
+        )
+    return grid
+
+
 def run_grid(
-    suite: WorkloadSuite, algorithms: Mapping[str, Algorithm]
+    suite: WorkloadSuite,
+    algorithms: Mapping[str, GridAlgorithm],
+    workers: int = 1,
+    cache_dir: Optional[str | Path] = None,
+    progress: Optional[ProgressFn] = None,
+    name: str = "grid",
+    base_seed: int = 0,
 ) -> GridResult:
-    """Run every algorithm on every suite cell; returns all measurements."""
+    """Run every algorithm on every suite cell; returns all measurements.
+
+    With :class:`~repro.runner.spec.AlgorithmSpec` values the grid runs
+    through :func:`repro.runner.run_experiment` — sweeps shard across
+    *workers* processes and finished cells resume from *cache_dir*.
+    Callable values run in-process and serially (a callable cannot be
+    shipped to a worker), so they reject ``workers > 1``.
+    """
     if not algorithms:
         raise ValueError("need at least one algorithm")
+    specs = {
+        n: a for n, a in algorithms.items() if isinstance(a, AlgorithmSpec)
+    }
+    callables = {n: a for n, a in algorithms.items() if n not in specs}
+    if callables and workers > 1:
+        raise ValueError(
+            "workers > 1 requires every algorithm to be an AlgorithmSpec "
+            f"(callables cannot cross process boundaries): {sorted(callables)}"
+        )
+
     result = GridResult()
-    for cell in suite:
-        w = cell.build()
-        c = w.classification
-        for name, algo in algorithms.items():
-            m = float(algo(w))
-            result.cells.append(
-                GridCellResult(
-                    workload_name=w.name,
-                    connectivity=c.connectivity,
-                    heterogeneity=c.heterogeneity,
-                    ccr=float(c.ccr if c.ccr is not None else float("nan")),
-                    algorithm=name,
-                    makespan=m,
-                    normalized=normalized_makespan(w, m),
+    if specs:
+        experiment = ExperimentSpec(
+            name=name,
+            algorithms=specs,
+            workloads=[cell.spec for cell in suite],
+            seeds=(0,),
+            base_seed=base_seed,
+        )
+        exp_result = run_experiment(
+            experiment,
+            workers=workers,
+            cache_dir=cache_dir,
+            progress=progress,
+            keep_traces=False,
+        )
+        result.cells.extend(grid_from_experiment(exp_result).cells)
+
+    if callables:
+        for cell in suite:
+            w = cell.build()
+            c = w.classification
+            for algo_name, algo in callables.items():
+                m = float(algo(w))
+                result.cells.append(
+                    GridCellResult(
+                        workload_name=w.name,
+                        connectivity=c.connectivity,
+                        heterogeneity=c.heterogeneity,
+                        ccr=float(c.ccr if c.ccr is not None else float("nan")),
+                        algorithm=algo_name,
+                        makespan=m,
+                        normalized=normalized_makespan(w, m),
+                    )
                 )
-            )
     return result

@@ -41,6 +41,16 @@ class GAConfig:
     stall_generations:
         Stop after this many generations without improvement of the best
         makespan (Wang et al. used 150); ``None`` disables.
+    incremental_evaluation:
+        Score offspring with suffix-only re-evaluation against their
+        parent's :class:`~repro.schedule.simulator.DeltaState` whenever a
+        parent has enough unevaluated children to amortise one prepare
+        call.  Produces bit-identical costs, decisions and traces'
+        makespan columns; only the ``evaluations`` accounting differs
+        (the delta path also counts its prepare calls, so it reports
+        slightly more simulator calls).  The switch exists for
+        benchmarking and for the equivalence test in
+        ``tests/baselines/test_ga.py``.
     seed:
         Seed / generator for all stochastic choices.
     """
@@ -52,6 +62,7 @@ class GAConfig:
     max_generations: int = 1000
     time_limit: Optional[float] = None
     stall_generations: Optional[int] = 150
+    incremental_evaluation: bool = True
     seed: RandomSource = None
 
     def __post_init__(self) -> None:

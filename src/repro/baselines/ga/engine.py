@@ -9,6 +9,16 @@ proportionally more wheel area.
 The engine emits the same :class:`~repro.analysis.trace.ConvergenceTrace`
 records as the SE engine, so the comparison harness and the figure
 benchmarks treat both uniformly.
+
+Offspring evaluation is incremental where it pays: a child produced by
+crossover/mutation keeps its "first" parent's string prefix up to the
+first divergence position, so children are grouped by parent and scored
+with :meth:`~repro.schedule.simulator.Simulator.evaluate_delta` against
+one prepared parent state.  Since a prepare costs about one full
+evaluation and crossover children diverge near the middle of the
+string, the delta path is taken only for parents with three or more
+unevaluated children; costs are bit-identical either way (see
+``GAConfig.incremental_evaluation``).
 """
 
 from __future__ import annotations
@@ -32,6 +42,35 @@ from repro.schedule.encoding import ScheduleString
 from repro.schedule.simulator import Schedule, Simulator
 from repro.utils.rng import as_rng
 from repro.utils.timers import Stopwatch
+
+
+def _first_divergence(
+    parent: Chromosome, child: Chromosome, parent_pos: Sequence[int]
+) -> int:
+    """First string position where *child* stops sharing *parent*'s prefix.
+
+    Considers both the scheduling permutation (first index where the
+    orders differ) and the matching string (a changed machine dirties the
+    task's position in the parent order; positions below the scheduling
+    divergence are shared, so the parent position is the child position
+    there).  Returns ``k`` for an identical child.
+    """
+    k = len(parent.scheduling)
+    f = k
+    ps = parent.scheduling
+    cs = child.scheduling
+    for p in range(k):
+        if ps[p] != cs[p]:
+            f = p
+            break
+    pm = parent.matching
+    cm = child.matching
+    for t in range(k):
+        if pm[t] != cm[t]:
+            p = parent_pos[t]
+            if p < f:
+                f = p
+    return f
 
 
 @dataclass(frozen=True)
@@ -83,11 +122,54 @@ class GeneticAlgorithm:
                 )
             )
 
-        def evaluate(pop: list[Chromosome]) -> int:
+        def evaluate(
+            pop: list[Chromosome],
+            parents: Optional[list[Optional[Chromosome]]] = None,
+        ) -> int:
+            """Fill every missing ``cost``; returns simulator calls made.
+
+            ``parents[i]``, when given, is a chromosome whose string
+            shares a prefix with ``pop[i]`` (its crossover/copy source).
+            Children are grouped by parent; a parent with >= 3 pending
+            children is prepared once and its children scored by
+            suffix-only re-evaluation — bit-identical to the full path.
+            """
             calls = 0
-            for c in pop:
-                if c.cost is None:
+            groups: dict[int, list[Chromosome]] = {}
+            by_parent: dict[int, Chromosome] = {}
+            for i, c in enumerate(pop):
+                if c.cost is not None:
+                    continue
+                par = parents[i] if parents is not None else None
+                if (
+                    cfg.incremental_evaluation
+                    and par is not None
+                    and par.cost is not None
+                ):
+                    groups.setdefault(id(par), []).append(c)
+                    by_parent[id(par)] = par
+                else:
                     c.cost = sim.makespan(c.scheduling, c.matching)
+                    calls += 1
+            for key, children in groups.items():
+                par = by_parent[key]
+                if len(children) < 3:
+                    # a prepare costs about one full evaluation and a
+                    # crossover child diverges at the cut (~k/2 on
+                    # average), so fewer than three children per parent
+                    # cannot amortise the snapshot
+                    for c in children:
+                        c.cost = sim.makespan(c.scheduling, c.matching)
+                        calls += 1
+                    continue
+                state = sim.prepare(par.scheduling, par.matching)
+                calls += 1
+                parent_pos = state.pos_of
+                for c in children:
+                    f = _first_divergence(par, c, parent_pos)
+                    c.cost = sim.evaluate_delta(
+                        c.scheduling, c.matching, f, state
+                    )
                     calls += 1
             return calls
 
@@ -106,11 +188,13 @@ class GeneticAlgorithm:
             generation += 1
 
             nxt: list[Chromosome] = []
+            nxt_parents: list[Optional[Chromosome]] = []
             if cfg.elite_count:
                 for c in sorted(population, key=lambda c: c.cost)[
                     : cfg.elite_count
                 ]:
                     nxt.append(c.copy())
+                    nxt_parents.append(None)  # cost survives the copy
 
             costs = np.array([c.cost for c in population])
             # cost -> fitness flip; +eps keeps the worst individual alive
@@ -130,12 +214,15 @@ class GeneticAlgorithm:
                         matching_mutation(child, l, rng)
                     if rng.random() < cfg.mutation_prob:
                         scheduling_mutation(child, graph, l, rng)
+                # each child keeps a prefix of its "own" parent's strings
                 nxt.append(ca)
+                nxt_parents.append(pa)
                 if len(nxt) < cfg.population_size:
                     nxt.append(cb)
+                    nxt_parents.append(pb)
 
             population = nxt
-            evaluations += evaluate(population)
+            evaluations += evaluate(population, nxt_parents)
             gen_best = min(population, key=lambda c: c.cost)
             if gen_best.cost < best.cost:
                 best = gen_best.copy()

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro`` / ``repro-mshc``.
+"""Command-line interface: ``repro`` / ``python -m repro`` / ``repro-mshc``.
 
 Subcommands
 -----------
@@ -8,15 +8,20 @@ Subcommands
 * ``compare``   — the paper's SE-vs-GA head-to-head with an ASCII plot.
 * ``figure``    — regenerate one of the paper's figures (3a, 3b, 4a, 4b,
   5, 6, 7) as an ASCII chart.
+* ``sweep``     — a parallel algorithms × workload-grid × seeds sweep
+  through :mod:`repro.runner` (``--workers N``, resume via ``--cache``),
+  with JSON/CSV artifacts and a league table.
 * ``export``    — write artifacts to disk: the workload as JSON, its DAG
   as Graphviz DOT, and an SE schedule as JSON + SVG Gantt chart.
 
 Examples::
 
-    python -m repro describe --preset fig5 --seed 7
-    python -m repro run --algo se --preset small --seed 7 --iterations 200
-    python -m repro compare --preset fig6 --budget 10 --seed 1
-    python -m repro figure 3a --seed 11 --iterations 300
+    repro describe --preset fig5 --seed 7
+    repro run --algo se --preset small --seed 7 --iterations 200
+    repro compare --preset fig6 --budget 10 --seed 1
+    repro figure 3a --seed 11 --iterations 300
+    repro sweep --algos se,ga,heft --tasks 40 --machines 8 \\
+        --seeds 1,2,3 --workers 8 --cache .sweep-cache --out results
 """
 
 from __future__ import annotations
@@ -204,6 +209,99 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.grid import grid_from_experiment
+    from repro.runner import (
+        AlgorithmSpec,
+        ExperimentSpec,
+        available_algorithms,
+        print_progress,
+        run_experiment,
+    )
+    from repro.workloads import WorkloadSuite
+
+    algos = [a.strip().lower() for a in args.algos.split(",") if a.strip()]
+    unknown = sorted(set(algos) - set(available_algorithms()))
+    if unknown:
+        raise SystemExit(
+            f"unknown algorithms {unknown}; available: "
+            f"{', '.join(available_algorithms())}"
+        )
+
+    def algo_spec(kind: str) -> AlgorithmSpec:
+        if kind in ("se", "hybrid"):
+            params = {"max_iterations": args.iterations}
+            if args.budget is not None:
+                params = {
+                    "time_limit": args.budget,
+                    "max_iterations": 10**9,
+                }
+            return AlgorithmSpec.make(kind, **params)
+        if kind == "ga":
+            params = {
+                "max_generations": args.iterations,
+                "stall_generations": None,
+            }
+            if args.budget is not None:
+                params = {
+                    "time_limit": args.budget,
+                    "max_generations": 10**9,
+                    "stall_generations": None,
+                }
+            return AlgorithmSpec.make("ga", **params)
+        if kind == "random":
+            return AlgorithmSpec.make("random", samples=args.iterations * 10)
+        return AlgorithmSpec.make(kind)
+
+    suite = WorkloadSuite(
+        num_tasks=args.tasks,
+        num_machines=args.machines,
+        connectivities=tuple(args.connectivities.split(",")),
+        heterogeneities=tuple(args.heterogeneities.split(",")),
+        ccrs=tuple(float(c) for c in args.ccrs.split(",")),
+        replicates=args.replicates,
+        seed=args.suite_seed,
+    )
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    spec = ExperimentSpec(
+        name=args.name,
+        algorithms={a: algo_spec(a) for a in algos},
+        workloads=[cell.spec for cell in suite],
+        seeds=seeds,
+        base_seed=args.base_seed,
+    )
+    print(
+        f"sweep '{args.name}': {len(algos)} algorithms x {len(suite)} "
+        f"workloads x {len(seeds)} seeds = {len(spec)} cells "
+        f"({args.workers} workers)"
+    )
+    result = run_experiment(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache,
+        progress=print_progress if not args.quiet else None,
+        keep_traces=args.traces,
+    )
+
+    grid = grid_from_experiment(result)
+    print("\nleague (geometric-mean normalized makespan, lower = better):")
+    for algo, score in grid.league_table():
+        print(f"  {algo:10s} {score:.3f}")
+    pairs = [(a, b) for a in grid.algorithms for b in grid.algorithms if a < b]
+    for a, b in pairs[:6]:
+        rec = grid.win_loss(a, b)
+        print(f"  {a} vs {b}: {rec.describe()} (win rate {rec.win_rate():.2f})")
+
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        print()
+        print(f"wrote {result.save_json(out / f'{args.name}.json')}")
+        print(f"wrote {result.save_csv(out / f'{args.name}.csv')}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -271,6 +369,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=10.0, help="seconds per algorithm")
     p.add_argument("--points", type=int, default=16)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "sweep",
+        help="parallel algorithms x workload-grid x seeds sweep",
+    )
+    p.add_argument("--name", default="sweep", help="experiment name")
+    p.add_argument(
+        "--algos",
+        default="se,ga,heft",
+        help="comma list of registry algorithms",
+    )
+    p.add_argument("--tasks", type=int, default=40)
+    p.add_argument("--machines", type=int, default=8)
+    p.add_argument("--connectivities", default="low,high")
+    p.add_argument("--heterogeneities", default="low,high")
+    p.add_argument("--ccrs", default="0.1,1.0")
+    p.add_argument("--replicates", type=int, default=1)
+    p.add_argument("--suite-seed", type=int, default=0, help="workload-draw seed")
+    p.add_argument("--seeds", default="0", help="comma list of replicate seeds")
+    p.add_argument("--base-seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=100, help="SE/GA cap")
+    p.add_argument(
+        "--budget", type=float, default=None,
+        help=(
+            "wall-clock seconds per se/ga/hybrid run (lifts iteration "
+            "caps; deterministic heuristics and random are unaffected)"
+        ),
+    )
+    p.add_argument("--workers", type=int, default=1, help="process count")
+    p.add_argument("--cache", default=None, help="resume-cache directory")
+    p.add_argument("--out", default=None, help="write JSON+CSV artifacts here")
+    p.add_argument("--traces", action="store_true", help="keep convergence traces")
+    p.add_argument("--quiet", action="store_true", help="no per-cell progress")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("export", help="write workload/schedule artifacts")
     p.add_argument("--preset", default="small", choices=sorted(PRESETS))

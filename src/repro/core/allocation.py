@@ -15,16 +15,25 @@ insertion index per *distinct per-machine order* is evaluated — positions
 between the same two same-machine neighbours produce identical schedules,
 so enumerating them all (``"all-positions"``, kept for the ABL-SLOT
 ablation) wastes simulator calls without reaching any extra schedule.
+
+Probe evaluation is **incremental**: relocating a subtask from position
+``p`` to insertion index ``i`` leaves the string prefix before
+``min(p, i)`` untouched, so each probe is scored with
+:meth:`~repro.schedule.simulator.Simulator.evaluate_delta` against a
+:class:`~repro.schedule.simulator.DeltaState` prepared once per selected
+subtask.  The running best cost doubles as a branch-and-bound cutoff.
+Probe outcomes — and therefore the whole SE trajectory — are bit-identical
+to from-scratch evaluation (see ``tests/properties/test_delta_properties.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.model.workload import Workload
 from repro.schedule.encoding import ScheduleString
-from repro.schedule.simulator import Simulator
+from repro.schedule.simulator import Schedule, Simulator
 from repro.schedule.valid_range import (
     machine_slot_indices,
     valid_insertion_range,
@@ -40,14 +49,19 @@ class AllocationResult:
     makespan:
         Schedule length of the string after all relocations.
     trials:
-        Number of candidate placements evaluated (simulator calls).
+        Number of simulator calls (candidate probes + full prepares).
     moved:
         Number of subtasks whose placement actually changed.
+    schedule:
+        The fully evaluated post-allocation schedule — a byproduct of the
+        final :meth:`~repro.schedule.simulator.Simulator.prepare`, so the
+        engine does not need to re-evaluate the string.
     """
 
     makespan: float
     trials: int
     moved: int
+    schedule: Optional[Schedule] = None
 
 
 class Allocator:
@@ -105,8 +119,14 @@ class Allocator:
         """
         sim = self._sim
         graph = self._graph
+        order = string.order
+        machines = string.machines
         trials = 0
         moved = 0
+        # One full evaluation per committed placement; every probe in
+        # between is an incremental suffix-only re-evaluation against it.
+        state = sim.prepare(order, machines)
+        trials += 1
 
         for task in selected:
             orig_pos = string.position_of(task)
@@ -125,7 +145,13 @@ class Allocator:
                     indices = list(range(lo, hi + 1))
                 for idx in indices:
                     string.relocate(task, idx, machine)
-                    cost = sim.makespan(string.order, string.machines)
+                    if orig_pos < idx:
+                        first, last = orig_pos, idx
+                    else:
+                        first, last = idx, orig_pos
+                    cost = sim.evaluate_delta(
+                        order, machines, first, state, best_cost, last
+                    )
                     trials += 1
                     if cost < best_cost:
                         best_cost = cost
@@ -137,6 +163,14 @@ class Allocator:
             string.relocate(task, best_index, best_machine)
             if best_index != orig_pos or best_machine != orig_machine:
                 moved += 1
+                # re-snapshot only when the string actually changed; an
+                # unmoved subtask leaves the prepared state valid
+                state = sim.prepare(order, machines)
+                trials += 1
 
-        final = sim.makespan(string.order, string.machines)
-        return AllocationResult(makespan=final, trials=trials + 1, moved=moved)
+        return AllocationResult(
+            makespan=state.makespan,
+            trials=trials,
+            moved=moved,
+            schedule=state.as_schedule(),
+        )

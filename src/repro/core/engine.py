@@ -6,13 +6,18 @@ One SE iteration = **Evaluation** (goodness ``g_i = O_i/C_i``) →
 repeats until an iteration cap, a wall-clock limit, or an optional
 no-improvement stall is hit.
 
-Typical use::
+Typical use (executable — CI runs it under ``--doctest-modules``):
 
-    from repro import SEConfig, SimulatedEvolution, presets
+    >>> from repro import SEConfig, SimulatedEvolution, workloads
+    >>> w = workloads.small_workload(seed=1)
+    >>> result = SimulatedEvolution(SEConfig(seed=1, max_iterations=20)).run(w)
+    >>> result.iterations
+    20
+    >>> result.best_makespan == min(result.trace.best_makespans())
+    True
 
-    workload = presets.figure5_workload(seed=1)
-    result = SimulatedEvolution(SEConfig(seed=1, max_iterations=300)).run(workload)
-    print(result.best_makespan)
+Paper-scale runs use ``workloads.figure5_workload(seed=...)`` (100 tasks,
+20 machines) with a few hundred iterations.
 """
 
 from __future__ import annotations
@@ -146,11 +151,11 @@ class SimulatedEvolution:
             selected = select_subtasks(g, graph, bias, rng)
 
             # Allocation (paper §4.5): greedy constructive re-placement.
+            # The allocator's final prepare() already evaluated the new
+            # string in full, so its schedule is reused directly.
             alloc = allocator.allocate(string, selected)
             evaluations += alloc.trials
-
-            current = sim.evaluate(string)
-            evaluations += 1
+            current = alloc.schedule
             if current.makespan < best_makespan:
                 best_makespan = current.makespan
                 best_string = string.copy()

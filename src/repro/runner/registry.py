@@ -1,0 +1,189 @@
+"""Algorithm registry: names the runner can execute in worker processes.
+
+Multiprocessing cannot ship closures across process boundaries, so the
+experiment runner refers to algorithms **by name**: an
+:class:`~repro.runner.spec.AlgorithmSpec` carries a registry key plus a
+flat parameter mapping, and every worker resolves the key against this
+module-level registry after import.  The built-in entries cover every
+algorithm in the library; downstream code can add its own with
+:func:`register_algorithm` (the registration must happen at import time
+of a module the workers also import — e.g. the module defining the
+experiment).
+
+>>> from repro.runner import available_algorithms
+>>> "se" in available_algorithms() and "heft" in available_algorithms()
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.model.workload import Workload
+
+
+@dataclass
+class CellOutcome:
+    """What one algorithm run reports back to the experiment runner.
+
+    ``trace_rows`` uses the plain-dict row format of
+    :meth:`repro.analysis.trace.ConvergenceTrace.to_rows` so outcomes
+    stay picklable and JSON-serialisable; deterministic heuristics leave
+    it ``None``.
+    """
+
+    makespan: float
+    evaluations: int = 0
+    iterations: int = 0
+    stopped_by: str = ""
+    trace_rows: Optional[List[dict]] = None
+    extras: dict = field(default_factory=dict)
+
+
+#: An algorithm entry: (workload, seed, params) -> CellOutcome.
+AlgorithmFn = Callable[[Workload, int, dict], CellOutcome]
+
+_REGISTRY: Dict[str, AlgorithmFn] = {}
+
+
+def register_algorithm(name: str):
+    """Decorator registering *fn* under *name* (lowercase, unique)."""
+
+    def deco(fn: AlgorithmFn) -> AlgorithmFn:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"algorithm {key!r} already registered")
+        _REGISTRY[key] = fn
+        return fn
+
+    return deco
+
+
+def resolve_algorithm(name: str) -> AlgorithmFn:
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: "
+            f"{', '.join(available_algorithms())}"
+        ) from None
+
+
+def available_algorithms() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# built-in entries
+# ----------------------------------------------------------------------
+
+
+def _string_pairs(string) -> dict:
+    """A ScheduleString as plain lists (JSON/pickle-safe extras payload).
+
+    Rebuild with ``ScheduleString(doc["order"], doc["machines"], l)``.
+    """
+    return {"order": list(string.order), "machines": list(string.machines)}
+
+
+def _seed_of(seed: int, params: dict) -> int:
+    """Explicit ``seed`` in params overrides the derived per-cell seed.
+
+    The derived seed keeps cells statistically independent; pinning is
+    for benchmarks that must reproduce one specific published trajectory.
+    """
+    return params.pop("seed", seed)
+
+
+@register_algorithm("se")
+def _run_se(workload: Workload, seed: int, params: dict) -> CellOutcome:
+    from repro.core import SEConfig, SimulatedEvolution
+
+    params = dict(params)
+    seed = _seed_of(seed, params)
+    res = SimulatedEvolution(SEConfig(seed=seed, **params)).run(workload)
+    return CellOutcome(
+        makespan=res.best_makespan,
+        evaluations=res.evaluations,
+        iterations=res.iterations,
+        stopped_by=res.stopped_by,
+        trace_rows=res.trace.to_rows(),
+        extras={
+            "bias": res.bias,
+            "y_candidates": res.y_candidates,
+            "best_string": _string_pairs(res.best_string),
+        },
+    )
+
+
+@register_algorithm("hybrid")
+def _run_hybrid(workload: Workload, seed: int, params: dict) -> CellOutcome:
+    """HEFT-seeded SE (the EXT-HYBRID warm-start extension)."""
+    from repro.core import SEConfig
+    from repro.extensions.hybrid import heft_seeded_se
+
+    params = dict(params)
+    seed = _seed_of(seed, params)
+    res = heft_seeded_se(workload, SEConfig(seed=seed, **params))
+    return CellOutcome(
+        makespan=res.best_makespan,
+        evaluations=res.evaluations,
+        iterations=res.iterations,
+        stopped_by=res.stopped_by,
+        trace_rows=res.trace.to_rows(),
+        extras={"best_string": _string_pairs(res.best_string)},
+    )
+
+
+@register_algorithm("ga")
+def _run_ga(workload: Workload, seed: int, params: dict) -> CellOutcome:
+    from repro.baselines import GAConfig, GeneticAlgorithm
+
+    params = dict(params)
+    seed = _seed_of(seed, params)
+    res = GeneticAlgorithm(GAConfig(seed=seed, **params)).run(workload)
+    return CellOutcome(
+        makespan=res.best_makespan,
+        evaluations=res.evaluations,
+        iterations=res.generations,
+        stopped_by=res.stopped_by,
+        trace_rows=res.trace.to_rows(),
+        extras={"best_string": _string_pairs(res.best_string)},
+    )
+
+
+def _deterministic(fn_name: str):
+    def run(workload: Workload, seed: int, params: dict) -> CellOutcome:
+        import repro.baselines as baselines
+
+        res = getattr(baselines, fn_name)(workload, **params)
+        return CellOutcome(
+            makespan=res.makespan,
+            evaluations=res.evaluations,
+            extras={"best_string": _string_pairs(res.string)},
+        )
+
+    return run
+
+
+register_algorithm("heft")(_deterministic("heft"))
+register_algorithm("minmin")(_deterministic("min_min"))
+register_algorithm("maxmin")(_deterministic("max_min"))
+register_algorithm("olb")(_deterministic("olb"))
+
+
+@register_algorithm("random")
+def _run_random(workload: Workload, seed: int, params: dict) -> CellOutcome:
+    from repro.baselines import random_search
+
+    params = dict(params)
+    seed = _seed_of(seed, params)
+    res = random_search(
+        workload, samples=params.get("samples", 1000), seed=seed
+    )
+    return CellOutcome(
+        makespan=res.makespan,
+        evaluations=res.evaluations,
+        extras={"best_string": _string_pairs(res.string)},
+    )

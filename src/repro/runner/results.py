@@ -1,0 +1,200 @@
+"""Experiment results: per-cell records with JSON/CSV persistence.
+
+A :class:`CellResult` is flat, picklable and JSON-round-trippable — it
+crosses process boundaries, lands in per-cell cache files, and aggregates
+into an :class:`ExperimentResult` with the usual save/load helpers.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # deferred at runtime: analysis.grid imports the runner
+    from repro.analysis.trace import ConvergenceTrace
+
+#: Bump when the CellResult schema changes incompatibly; cache entries
+#: from other versions are ignored (re-run), never mis-parsed.
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CellResult:
+    """Outcome of one experiment cell (one algorithm on one workload).
+
+    ``trace`` holds plain row dicts (see
+    :meth:`repro.analysis.trace.ConvergenceTrace.to_rows`) or ``None``
+    when the algorithm has no convergence trace / traces were stripped.
+    ``runtime_seconds`` is wall time in the worker — informative, and the
+    only field that is *not* deterministic across runs.
+    """
+
+    cell_id: str
+    algorithm: str
+    workload: str
+    connectivity: str
+    heterogeneity: str
+    ccr: float
+    num_tasks: int
+    num_machines: int
+    seed: int
+    makespan: float
+    normalized: float
+    evaluations: int = 0
+    iterations: int = 0
+    stopped_by: str = ""
+    runtime_seconds: float = 0.0
+    trace: Optional[List[dict]] = None
+    extras: dict = field(default_factory=dict)
+
+    def convergence_trace(self) -> "ConvergenceTrace":
+        """The trace rows as a :class:`ConvergenceTrace` (raises if absent)."""
+        from repro.analysis.trace import ConvergenceTrace, IterationRecord
+
+        if self.trace is None:
+            raise ValueError(
+                f"cell {self.cell_id} has no trace (deterministic "
+                "algorithm, or the experiment ran with keep_traces=False)"
+            )
+        return ConvergenceTrace(IterationRecord(**row) for row in self.trace)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CellResult":
+        return cls(**doc)
+
+
+_CSV_FIELDS = [
+    "cell_id",
+    "algorithm",
+    "workload",
+    "connectivity",
+    "heterogeneity",
+    "ccr",
+    "num_tasks",
+    "num_machines",
+    "seed",
+    "makespan",
+    "normalized",
+    "evaluations",
+    "iterations",
+    "stopped_by",
+    "runtime_seconds",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """All cell results of one experiment run, in canonical cell order."""
+
+    name: str
+    cells: List[CellResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    @property
+    def algorithms(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.algorithm, None)
+        return list(seen)
+
+    def by_algorithm(self, algorithm: str) -> List[CellResult]:
+        return [c for c in self.cells if c.algorithm == algorithm]
+
+    def makespans(self, algorithm: str) -> List[float]:
+        return [c.makespan for c in self.by_algorithm(algorithm)]
+
+    def cell(
+        self, algorithm: str, workload: str, seed_of: Optional[int] = None
+    ) -> CellResult:
+        """The unique cell for (algorithm, workload [, seed])."""
+        hits = [
+            c
+            for c in self.cells
+            if c.algorithm == algorithm
+            and c.workload == workload
+            and (seed_of is None or c.seed == seed_of)
+        ]
+        if not hits:
+            raise KeyError(f"no cell for ({algorithm!r}, {workload!r})")
+        if len(hits) > 1:
+            raise KeyError(
+                f"{len(hits)} cells match ({algorithm!r}, {workload!r}); "
+                "disambiguate by seed"
+            )
+        return hits[0]
+
+    def traces(self) -> Dict[Tuple[str, str, int], "ConvergenceTrace"]:
+        """All traces keyed by (algorithm, workload, seed)."""
+        return {
+            (c.algorithm, c.workload, c.seed): c.convergence_trace()
+            for c in self.cells
+            if c.trace is not None
+        }
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": RESULT_SCHEMA_VERSION,
+            "name": self.name,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    def save_json(self, path: str | Path, indent: int = 2) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=indent))
+        return path
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "ExperimentResult":
+        doc = json.loads(Path(path).read_text())
+        if doc.get("version") != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema {doc.get('version')!r} in {path}"
+            )
+        return cls(
+            name=doc["name"],
+            cells=[CellResult.from_dict(c) for c in doc["cells"]],
+        )
+
+    def save_csv(self, path: str | Path) -> Path:
+        """Flat per-cell table (traces and extras omitted)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
+            writer.writeheader()
+            for c in self.cells:
+                row = c.to_dict()
+                writer.writerow({k: row[k] for k in _CSV_FIELDS})
+        return path
+
+
+def merge_results(
+    name: str, chunks: Iterable[ExperimentResult]
+) -> ExperimentResult:
+    """Concatenate partial results (e.g. shards run on several hosts).
+
+    Sorting uses the cell id (which embeds the replicate index), not the
+    derived numeric seed, so replicates of different algorithms stay
+    index-aligned for the grid's pairwise statistics.
+    """
+    merged = ExperimentResult(name=name)
+    for chunk in chunks:
+        merged.cells.extend(chunk.cells)
+    merged.cells.sort(key=lambda c: (c.algorithm, c.workload, c.cell_id))
+    return merged

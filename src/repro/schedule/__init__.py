@@ -33,6 +33,7 @@ from repro.schedule.operations import (
     shuffle_string,
 )
 from repro.schedule.simulator import (
+    DeltaState,
     InvalidScheduleError,
     Schedule,
     Simulator,
@@ -63,6 +64,7 @@ __all__ = [
     "random_valid_move",
     "random_valid_string",
     "shuffle_string",
+    "DeltaState",
     "InvalidScheduleError",
     "Schedule",
     "Simulator",

@@ -20,6 +20,19 @@ Semantics (paper §2 + §4.1, matching Wang et al.'s model):
   consumer machines differ, zero otherwise;
 * links are contention-free (fully connected network), so transfers
   start the moment the producer finishes.
+
+Incremental (suffix-only) re-evaluation
+---------------------------------------
+
+Because evaluation walks the string left to right and its state after
+position ``p`` is fully captured by (per-task finish times, per-machine
+availability, running span), a move that perturbs the string only from
+position ``f`` onwards can reuse everything before ``f``.
+:meth:`Simulator.prepare` performs one full evaluation and snapshots that
+state at every position; :meth:`Simulator.evaluate_delta` then re-scores
+a perturbed string by recomputing positions ``f..k-1`` only.  This is the
+hot path of the SE allocation step (thousands of relocate-probe-revert
+cycles per iteration) and of the GA's mutation-only offspring.
 """
 
 from __future__ import annotations
@@ -67,11 +80,98 @@ class Schedule:
         return [t for t in self.order if self.machine_of[t] == machine]
 
 
+class DeltaState:
+    """Snapshot of one full evaluation, indexed by string position.
+
+    Produced by :meth:`Simulator.prepare`; consumed by
+    :meth:`Simulator.evaluate_delta`.  For a string of ``k`` subtasks on
+    ``l`` machines it stores, for every position ``p`` in ``0..k``:
+
+    * ``avail_rows[p]`` — per-machine availability before position ``p``,
+    * ``span_prefix[p]`` — makespan of the prefix ``[0, p)``,
+
+    plus the per-task ``start`` / ``finish`` arrays and the base string's
+    ``order`` / ``machine_of`` (copies, safe against later mutation).
+    Two auxiliary arrays power the *rejoin* early-exit of
+    :meth:`Simulator.evaluate_delta`:
+
+    * ``suffix_max[p]`` — max base finish over positions ``p..k-1``;
+    * ``last_consumer_pos[t]`` — last base position holding a consumer of
+      ``t``'s data (``-1`` if none).
+
+    Memory is ``O(k*l)``; building it costs one full evaluation.
+    """
+
+    __slots__ = (
+        "order",
+        "machine_of",
+        "pos_of",
+        "start",
+        "finish",
+        "avail_rows",
+        "span_prefix",
+        "suffix_max",
+        "last_consumer_pos",
+        "makespan",
+        "avail_at",
+        "dirty_epoch",
+        "epoch",
+    )
+
+    def __init__(
+        self,
+        order: list[int],
+        machine_of: list[int],
+        start: list[float],
+        finish: list[float],
+        avail_rows: list[list[float]],
+        span_prefix: list[float],
+        suffix_max: list[float],
+        last_consumer_pos: list[int],
+        makespan: float,
+    ):
+        self.order = order
+        self.machine_of = machine_of
+        self.start = start
+        self.finish = finish
+        self.avail_rows = avail_rows
+        self.span_prefix = span_prefix
+        self.suffix_max = suffix_max
+        self.last_consumer_pos = last_consumer_pos
+        self.makespan = makespan
+        pos_of = [0] * len(order)
+        for p, task in enumerate(order):
+            pos_of[task] = p
+        self.pos_of = pos_of
+        # avail_at[t]: availability of t's machine just before t's base
+        # position — the machine-side input of t's ready-time computation.
+        self.avail_at = [
+            avail_rows[pos_of[t]][machine_of[t]] for t in range(len(order))
+        ]
+        # Scratch for evaluate_delta's dirty tracking: a task is "dirty"
+        # in a probe iff dirty_epoch[task] == epoch of that probe, so
+        # flags reset in O(1) by bumping the epoch.
+        self.dirty_epoch = [0] * len(order)
+        self.epoch = 0
+
+    def as_schedule(self) -> Schedule:
+        """The fully evaluated base schedule (no re-walk needed)."""
+        return Schedule(
+            order=tuple(self.order),
+            machine_of=tuple(self.machine_of),
+            start=tuple(self.start),
+            finish=tuple(self.finish),
+            makespan=self.makespan,
+        )
+
+
 class Simulator:
     """Reusable evaluation context for one :class:`Workload`.
 
     Build once per workload, then call :meth:`makespan` /
-    :meth:`evaluate` as often as needed.
+    :meth:`evaluate` as often as needed.  For move-probe loops, call
+    :meth:`prepare` once per base string and :meth:`evaluate_delta` per
+    probe.
     """
 
     __slots__ = ("_workload", "_k", "_l", "_E", "_tr", "_in_edges")
@@ -186,6 +286,217 @@ class Simulator:
             finish=tuple(finish),
             makespan=span,
         )
+
+    # ------------------------------------------------------------------
+    # incremental (suffix-only) evaluation
+    # ------------------------------------------------------------------
+
+    def prepare(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> DeltaState:
+        """Fully evaluate a valid string and snapshot per-position state.
+
+        The returned :class:`DeltaState` lets :meth:`evaluate_delta`
+        re-score any string sharing a prefix with this one without
+        re-walking that prefix.
+
+        Raises
+        ------
+        InvalidScheduleError
+            If *order* places a consumer before one of its producers.
+        """
+        E = self._E
+        tr = self._tr
+        in_edges = self._in_edges
+        l = self._l
+        k = self._k
+        start = [0.0] * k
+        finish = [-1.0] * k
+        machine_avail = [0.0] * l
+        avail_rows: list[list[float]] = [machine_avail.copy()]
+        span_prefix = [0.0]
+        span = 0.0
+
+        for task in order:
+            m = machine_of[task]
+            ready = machine_avail[m]
+            for prod, item in in_edges[task]:
+                pf = finish[prod]
+                if pf < 0.0:
+                    raise InvalidScheduleError(
+                        f"subtask {task} scheduled before its producer {prod}"
+                    )
+                pm = machine_of[prod]
+                if pm != m:
+                    if pm < m:
+                        row = pm * l - pm * (pm + 1) // 2 + (m - pm - 1)
+                    else:
+                        row = m * l - m * (m + 1) // 2 + (pm - m - 1)
+                    pf += tr[row][item]
+                if pf > ready:
+                    ready = pf
+            start[task] = ready
+            fin = ready + E[m][task]
+            finish[task] = fin
+            machine_avail[m] = fin
+            if fin > span:
+                span = fin
+            avail_rows.append(machine_avail.copy())
+            span_prefix.append(span)
+
+        suffix_max = [0.0] * (k + 1)
+        running = 0.0
+        for p in range(k - 1, -1, -1):
+            fv = finish[order[p]]
+            if fv > running:
+                running = fv
+            suffix_max[p] = running
+        last_consumer_pos = [-1] * k
+        for p, task in enumerate(order):
+            for prod, _item in in_edges[task]:
+                if p > last_consumer_pos[prod]:
+                    last_consumer_pos[prod] = p
+
+        return DeltaState(
+            order=list(order),
+            machine_of=list(machine_of),
+            start=start,
+            finish=finish,
+            avail_rows=avail_rows,
+            span_prefix=span_prefix,
+            suffix_max=suffix_max,
+            last_consumer_pos=last_consumer_pos,
+            makespan=span,
+        )
+
+    def prepare_string(self, string: ScheduleString) -> DeltaState:
+        """:meth:`prepare` for a :class:`ScheduleString` (thin convenience)."""
+        return self.prepare(string.order, string.machines)
+
+    def evaluate_delta(
+        self,
+        order: Sequence[int],
+        machine_of: Sequence[int],
+        first_changed: int,
+        state: DeltaState,
+        cutoff: float = float("inf"),
+        region_end: Optional[int] = None,
+    ) -> float:
+        """Makespan of a perturbed string, recomputed from *first_changed*.
+
+        Preconditions (NOT checked — this is the innermost hot path):
+
+        * ``order`` is a valid (dependency-respecting) permutation;
+        * positions ``0..first_changed-1`` hold the same subtasks as
+          ``state``'s base string, and those subtasks keep the machine
+          assignments they had when :meth:`prepare` ran.
+
+        The result is bit-identical to a full :meth:`makespan` call on
+        the same string (the suffix performs the exact same float
+        operations; the prefix state is reused verbatim) — a property
+        enforced by ``tests/properties/test_delta_properties.py``.
+
+        ``cutoff`` enables branch-and-bound pruning: the running span
+        only grows as positions are processed, so once it reaches
+        *cutoff* the final makespan is guaranteed to be >= *cutoff* and
+        ``inf`` is returned immediately.  Callers that only keep strictly
+        better probes (the SE allocator) lose nothing.
+
+        ``region_end``, when given, asserts that every position strictly
+        greater than it holds the *same subtask with the same machine* as
+        the base string (true for a single relocate with
+        ``region_end = max(old_position, insertion_index)``).  It enables
+        the *rejoin* early-exit: while walking the suffix the evaluator
+        tracks the last position that could still read a finish time that
+        differs from the base run; once past both that frontier and
+        ``region_end``, if the per-machine availability vector equals the
+        base snapshot, every remaining computation would replicate the
+        base run verbatim, so the result is ``max(span so far,
+        max base finish of the remaining positions)`` — no further walk.
+        """
+        k = self._k
+        f = first_changed
+        if f < 0:
+            f = 0
+        elif f >= k:
+            return state.makespan if state.makespan < cutoff else float("inf")
+        E = self._E
+        tr = self._tr
+        in_edges = self._in_edges
+        l = self._l
+        base_finish = state.finish
+        base_machines = state.machine_of
+        base_avail_at = state.avail_at
+        finish = base_finish[:]
+        avail_rows = state.avail_rows
+        machine_avail = avail_rows[f][:]
+        span = state.span_prefix[f]
+        if span >= cutoff:
+            return float("inf")
+        suffix_max = state.suffix_max
+        last_consumer = state.last_consumer_pos
+        state.epoch += 1
+        epoch = state.epoch
+        dirty = state.dirty_epoch
+        # No early exit at positions <= frontier.  A relocate shifts the
+        # in-between subtasks by at most one position, hence the +1 margin
+        # when a divergent producer extends the frontier below.
+        frontier = k if region_end is None else region_end
+
+        for p in range(f, k):
+            if p > frontier and machine_avail == avail_rows[p]:
+                rest = suffix_max[p]
+                total = span if span > rest else rest
+                return total if total < cutoff else float("inf")
+            task = order[p]
+            m = machine_of[task]
+            # Clean shortcut: same machine as the base run, the machine is
+            # available exactly as it was before this task's base position,
+            # and no producer diverged — then every input of the ready/
+            # finish computation is identical to the base run, so the
+            # stored base finish IS this task's finish.
+            if m == base_machines[task] and (
+                machine_avail[m] == base_avail_at[task]
+            ):
+                for prod, _item in in_edges[task]:
+                    if dirty[prod] == epoch:
+                        break
+                else:
+                    fin = base_finish[task]
+                    machine_avail[m] = fin
+                    if fin > span:
+                        span = fin
+                        if span >= cutoff:
+                            return float("inf")
+                    continue
+            ready = machine_avail[m]
+            for prod, item in in_edges[task]:
+                pf = finish[prod]
+                pm = machine_of[prod]
+                if pm != m:
+                    if pm < m:
+                        row = pm * l - pm * (pm + 1) // 2 + (m - pm - 1)
+                    else:
+                        row = m * l - m * (m + 1) // 2 + (pm - m - 1)
+                    pf += tr[row][item]
+                if pf > ready:
+                    ready = pf
+            fin = ready + E[m][task]
+            finish[task] = fin
+            machine_avail[m] = fin
+            if fin > span:
+                span = fin
+                if span >= cutoff:
+                    return float("inf")
+            # A divergent finish time — or a machine change, which alters
+            # consumers' transfer times even at an identical finish —
+            # keeps every position up to the last consumer "dirty".
+            if fin != base_finish[task] or m != base_machines[task]:
+                dirty[task] = epoch
+                bound = last_consumer[task] + 1
+                if bound > frontier:
+                    frontier = bound
+        return span
 
     def finish_times(self, string: ScheduleString) -> list[float]:
         """Per-subtask finish times — SE's ``Ci`` values (paper §4.3)."""

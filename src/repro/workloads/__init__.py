@@ -23,12 +23,19 @@ from repro.workloads.heterogeneity import (
 from repro.workloads.presets import (
     WorkloadSpec,
     build_workload,
+    figure3_spec,
     figure3_workload,
+    figure4a_spec,
     figure4a_workload,
+    figure4b_spec,
     figure4b_workload,
+    figure5_spec,
     figure5_workload,
+    figure6_spec,
     figure6_workload,
+    figure7_spec,
     figure7_workload,
+    small_spec,
     small_workload,
 )
 from repro.workloads.suite import (
@@ -52,12 +59,19 @@ __all__ = [
     "heterogeneity_factor",
     "WorkloadSpec",
     "build_workload",
+    "figure3_spec",
     "figure3_workload",
+    "figure4a_spec",
     "figure4a_workload",
+    "figure4b_spec",
     "figure4b_workload",
+    "figure5_spec",
     "figure5_workload",
+    "figure6_spec",
     "figure6_workload",
+    "figure7_spec",
     "figure7_workload",
+    "small_spec",
     "small_workload",
     "SuiteCell",
     "WorkloadSuite",

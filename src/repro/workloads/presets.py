@@ -116,106 +116,129 @@ def build_workload(spec: WorkloadSpec) -> Workload:
 # ----------------------------------------------------------------------
 
 
+def small_spec(seed: RandomSource = None) -> WorkloadSpec:
+    """Recipe of :func:`small_workload` (20 tasks, 5 machines)."""
+    return WorkloadSpec(
+        num_tasks=20,
+        num_machines=5,
+        connectivity="medium",
+        heterogeneity="medium",
+        ccr=0.5,
+        seed=seed,
+        name="small-medium",
+    )
+
+
 def small_workload(seed: RandomSource = None) -> Workload:
     """A small instance (20 tasks, 5 machines) for quick studies/tests."""
-    return build_workload(
-        WorkloadSpec(
-            num_tasks=20,
-            num_machines=5,
-            connectivity="medium",
-            heterogeneity="medium",
-            ccr=0.5,
-            seed=seed,
-            name="small-medium",
-        )
+    return build_workload(small_spec(seed))
+
+
+def figure3_spec(seed: RandomSource = None) -> WorkloadSpec:
+    """Recipe of :func:`figure3_workload`."""
+    return WorkloadSpec(
+        num_tasks=100,
+        num_machines=20,
+        connectivity="high",
+        heterogeneity="medium",
+        ccr=0.5,
+        seed=seed,
+        name="fig3-large-highconn",
     )
 
 
 def figure3_workload(seed: RandomSource = None) -> Workload:
     """Fig. 3 (§5.1): large size, high connectivity."""
-    return build_workload(
-        WorkloadSpec(
-            num_tasks=100,
-            num_machines=20,
-            connectivity="high",
-            heterogeneity="medium",
-            ccr=0.5,
-            seed=seed,
-            name="fig3-large-highconn",
-        )
+    return build_workload(figure3_spec(seed))
+
+
+def figure4a_spec(seed: RandomSource = None) -> WorkloadSpec:
+    """Recipe of :func:`figure4a_workload`."""
+    return WorkloadSpec(
+        num_tasks=100,
+        num_machines=20,
+        connectivity="medium",
+        heterogeneity="low",
+        ccr=0.5,
+        seed=seed,
+        name="fig4a-lowhet",
     )
 
 
 def figure4a_workload(seed: RandomSource = None) -> Workload:
     """Fig. 4a (§5.2): large size, LOW heterogeneity, 20 machines."""
-    return build_workload(
-        WorkloadSpec(
-            num_tasks=100,
-            num_machines=20,
-            connectivity="medium",
-            heterogeneity="low",
-            ccr=0.5,
-            seed=seed,
-            name="fig4a-lowhet",
-        )
+    return build_workload(figure4a_spec(seed))
+
+
+def figure4b_spec(seed: RandomSource = None) -> WorkloadSpec:
+    """Recipe of :func:`figure4b_workload`."""
+    return WorkloadSpec(
+        num_tasks=100,
+        num_machines=20,
+        connectivity="medium",
+        heterogeneity="high",
+        ccr=0.5,
+        seed=seed,
+        name="fig4b-highhet",
     )
 
 
 def figure4b_workload(seed: RandomSource = None) -> Workload:
     """Fig. 4b (§5.2): large size, HIGH heterogeneity, 20 machines."""
-    return build_workload(
-        WorkloadSpec(
-            num_tasks=100,
-            num_machines=20,
-            connectivity="medium",
-            heterogeneity="high",
-            ccr=0.5,
-            seed=seed,
-            name="fig4b-highhet",
-        )
+    return build_workload(figure4b_spec(seed))
+
+
+def figure5_spec(seed: RandomSource = None) -> WorkloadSpec:
+    """Recipe of :func:`figure5_workload`."""
+    return WorkloadSpec(
+        num_tasks=100,
+        num_machines=20,
+        connectivity="high",
+        heterogeneity="medium",
+        ccr=0.5,
+        seed=seed,
+        name="fig5-highconn",
     )
 
 
 def figure5_workload(seed: RandomSource = None) -> Workload:
     """Fig. 5 (§5.3): 100 tasks, 20 machines, high connectivity."""
-    return build_workload(
-        WorkloadSpec(
-            num_tasks=100,
-            num_machines=20,
-            connectivity="high",
-            heterogeneity="medium",
-            ccr=0.5,
-            seed=seed,
-            name="fig5-highconn",
-        )
+    return build_workload(figure5_spec(seed))
+
+
+def figure6_spec(seed: RandomSource = None) -> WorkloadSpec:
+    """Recipe of :func:`figure6_workload`."""
+    return WorkloadSpec(
+        num_tasks=100,
+        num_machines=20,
+        connectivity="medium",
+        heterogeneity="medium",
+        ccr=1.0,
+        seed=seed,
+        name="fig6-ccr1",
     )
 
 
 def figure6_workload(seed: RandomSource = None) -> Workload:
     """Fig. 6 (§5.3): 100 tasks, 20 machines, CCR = 1."""
-    return build_workload(
-        WorkloadSpec(
-            num_tasks=100,
-            num_machines=20,
-            connectivity="medium",
-            heterogeneity="medium",
-            ccr=1.0,
-            seed=seed,
-            name="fig6-ccr1",
-        )
+    return build_workload(figure6_spec(seed))
+
+
+def figure7_spec(seed: RandomSource = None) -> WorkloadSpec:
+    """Recipe of :func:`figure7_workload`."""
+    return WorkloadSpec(
+        num_tasks=100,
+        num_machines=20,
+        connectivity="low",
+        heterogeneity="low",
+        ccr=0.1,
+        seed=seed,
+        name="fig7-loweverything",
     )
 
 
 def figure7_workload(seed: RandomSource = None) -> Workload:
     """Fig. 7 (§5.3): low connectivity, low heterogeneity, CCR = 0.1."""
     return build_workload(
-        WorkloadSpec(
-            num_tasks=100,
-            num_machines=20,
-            connectivity="low",
-            heterogeneity="low",
-            ccr=0.1,
-            seed=seed,
-            name="fig7-loweverything",
-        )
+        figure7_spec(seed)
     )

@@ -219,3 +219,27 @@ class TestGAEngine:
         res = run_ga(tiny_workload, GAConfig(seed=1, max_generations=0))
         assert res.generations == 0
         assert is_valid_for(res.best_string, tiny_workload.graph)
+
+
+class TestIncrementalEvaluation:
+    """The delta-evaluation path must be invisible in results: identical
+    traces, best makespans and final strings for any seed."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_delta_path_equals_full_path(self, tiny_workload, seed):
+        cfg = dict(max_generations=25, stall_generations=None, seed=seed)
+        delta = run_ga(
+            tiny_workload, GAConfig(incremental_evaluation=True, **cfg)
+        )
+        full = run_ga(
+            tiny_workload, GAConfig(incremental_evaluation=False, **cfg)
+        )
+        assert delta.best_makespan == full.best_makespan  # bit-identical
+        assert delta.trace.best_makespans() == full.trace.best_makespans()
+        assert (
+            delta.trace.current_makespans() == full.trace.current_makespans()
+        )
+        assert delta.best_string == full.best_string
+
+    def test_delta_path_is_default(self):
+        assert GAConfig().incremental_evaluation is True

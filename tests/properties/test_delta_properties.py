@@ -1,0 +1,170 @@
+"""Property tests: incremental evaluation is exactly the full evaluation.
+
+``Simulator.evaluate_delta`` recomputes a schedule from the first
+perturbed position onward, reusing a :class:`DeltaState` snapshot of the
+base string.  These properties pin the contract the SE allocator and the
+GA engine rely on: across random sequences of validity-preserving moves,
+the incremental makespan is **bit-identical** (``==``, no tolerance) to a
+from-scratch evaluation of the same string.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.operations import random_valid_string
+from repro.schedule.simulator import Simulator
+from repro.schedule.valid_range import valid_insertion_range
+from tests.strategies import workload_strings
+
+
+def _random_move(string, graph, rng):
+    """One validity-preserving relocate; returns (first, last) changed
+    positions — the ``first_changed`` / ``region_end`` pair."""
+    task = int(rng.integers(string.num_tasks))
+    old_pos = string.position_of(task)
+    lo, hi = valid_insertion_range(string, graph, task)
+    new_pos = int(rng.integers(lo, hi + 1))
+    machine = int(rng.integers(string.num_machines))
+    string.relocate(task, new_pos, machine)
+    return min(old_pos, new_pos), max(old_pos, new_pos)
+
+
+@given(workload_strings(), st.integers(0, 2**32 - 1))
+@settings(max_examples=60)
+def test_delta_equals_full_across_move_sequences(data, move_seed):
+    """Bit-identical makespans over a chain of random valid moves,
+    re-preparing after each committed move (the SE allocator pattern)."""
+    w, s = data
+    sim = Simulator(w)
+    rng = np.random.default_rng(move_seed)
+    state = sim.prepare(s.order, s.machines)
+    assert state.makespan == sim.makespan(s.order, s.machines)
+
+    for _ in range(5):
+        first, last = _random_move(s, w.graph, rng)
+        delta = sim.evaluate_delta(s.order, s.machines, first, state)
+        rejoin = sim.evaluate_delta(
+            s.order, s.machines, first, state, region_end=last
+        )
+        full = sim.makespan(s.order, s.machines)
+        assert delta == full  # exact, no tolerance
+        assert rejoin == full  # the rejoin early-exit is exact too
+        state = sim.prepare(s.order, s.machines)  # commit the move
+
+
+@given(workload_strings(), st.integers(0, 2**32 - 1))
+@settings(max_examples=60)
+def test_delta_probe_revert_matches_full(data, move_seed):
+    """The allocator's probe pattern: many relocate/score/revert cycles
+    against one prepared state, without re-preparing in between."""
+    w, s = data
+    sim = Simulator(w)
+    rng = np.random.default_rng(move_seed)
+    state = sim.prepare(s.order, s.machines)
+    base_pairs = s.pairs()
+
+    for _ in range(8):
+        task = int(rng.integers(s.num_tasks))
+        orig_pos = s.position_of(task)
+        orig_machine = s.machine_of(task)
+        lo, hi = valid_insertion_range(s, w.graph, task)
+        idx = int(rng.integers(lo, hi + 1))
+        machine = int(rng.integers(s.num_machines))
+        s.relocate(task, idx, machine)
+        first = min(orig_pos, idx)
+        last = max(orig_pos, idx)
+        full = sim.makespan(s.order, s.machines)
+        assert sim.evaluate_delta(s.order, s.machines, first, state) == full
+        assert (
+            sim.evaluate_delta(
+                s.order, s.machines, first, state, region_end=last
+            )
+            == full
+        )
+        s.relocate(task, orig_pos, orig_machine)  # revert the probe
+
+    assert s.pairs() == base_pairs  # probes fully reverted
+
+
+@given(workload_strings())
+def test_delta_from_zero_is_full_evaluation(data):
+    """first_changed=0 reuses nothing and must equal a full evaluation."""
+    w, s = data
+    sim = Simulator(w)
+    state = sim.prepare(s.order, s.machines)
+    assert (
+        sim.evaluate_delta(s.order, s.machines, 0, state)
+        == sim.makespan(s.order, s.machines)
+    )
+
+
+@given(workload_strings())
+def test_delta_past_end_returns_base_makespan(data):
+    w, s = data
+    sim = Simulator(w)
+    state = sim.prepare(s.order, s.machines)
+    assert (
+        sim.evaluate_delta(s.order, s.machines, s.num_tasks, state)
+        == state.makespan
+    )
+
+
+@given(workload_strings())
+def test_prepare_matches_evaluate(data):
+    """prepare() is a full evaluation: identical Schedule, per-position
+    span prefixes consistent with the finish times."""
+    w, s = data
+    sim = Simulator(w)
+    state = sim.prepare(s.order, s.machines)
+    sched = sim.evaluate(s)
+    assert state.as_schedule() == sched
+    k = s.num_tasks
+    running = 0.0
+    for p in range(k):
+        assert state.span_prefix[p] == running
+        running = max(running, state.finish[s.order[p]])
+    assert state.span_prefix[k] == running == state.makespan
+
+
+@given(workload_strings(), st.integers(0, 2**32 - 1))
+def test_cutoff_never_changes_strictly_better_probes(data, move_seed):
+    """With cutoff=c, results < c are exact and results >= c become inf —
+    the only contract the allocator's best-probe selection needs."""
+    w, s = data
+    sim = Simulator(w)
+    rng = np.random.default_rng(move_seed)
+    state = sim.prepare(s.order, s.machines)
+    first, last = _random_move(s, w.graph, rng)
+    exact = sim.evaluate_delta(s.order, s.machines, first, state)
+    cutoff = state.makespan
+    for kwargs in ({}, {"region_end": last}):
+        pruned = sim.evaluate_delta(
+            s.order, s.machines, first, state, cutoff, **kwargs
+        )
+        if exact < cutoff:
+            assert pruned == exact
+        else:
+            assert pruned == float("inf")
+
+
+def test_delta_reuses_prefix_state_paper_scale():
+    """Sanity on a non-toy instance: 60 tasks, 8 machines, many probes."""
+    from repro.workloads import WorkloadSpec, build_workload
+
+    w = build_workload(WorkloadSpec(num_tasks=60, num_machines=8, seed=4))
+    sim = Simulator(w)
+    s = random_valid_string(w.graph, w.num_machines, 9)
+    rng = np.random.default_rng(123)
+    state = sim.prepare(s.order, s.machines)
+    for _ in range(50):
+        first, last = _random_move(s, w.graph, rng)
+        full = sim.makespan(s.order, s.machines)
+        assert sim.evaluate_delta(s.order, s.machines, first, state) == full
+        assert (
+            sim.evaluate_delta(
+                s.order, s.machines, first, state, region_end=last
+            )
+            == full
+        )
+        state = sim.prepare(s.order, s.machines)

@@ -1,0 +1,211 @@
+"""Tests for the experiment runner: caching/resume, determinism,
+worker-count invariance, persistence, and progress reporting."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runner import (
+    AlgorithmSpec,
+    CellOutcome,
+    ExperimentResult,
+    ExperimentSpec,
+    available_algorithms,
+    register_algorithm,
+    resolve_algorithm,
+    run_cell,
+    run_experiment,
+)
+from repro.workloads import WorkloadSpec
+
+
+def tiny_spec(seeds=(0,), iters=8, name="exp"):
+    return ExperimentSpec(
+        name=name,
+        algorithms={
+            "SE": AlgorithmSpec.make("se", max_iterations=iters),
+            "HEFT": AlgorithmSpec.make("heft"),
+        },
+        workloads=[
+            WorkloadSpec(num_tasks=12, num_machines=3, seed=s, name=f"w{s}")
+            for s in (1, 2)
+        ],
+        seeds=seeds,
+    )
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert {"se", "ga", "heft", "minmin", "maxmin", "olb", "random"} <= (
+            set(available_algorithms())
+        )
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            resolve_algorithm("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("se")(lambda w, s, p: CellOutcome(1.0))
+
+
+class TestRunExperiment:
+    def test_results_in_canonical_cell_order(self):
+        result = run_experiment(tiny_spec())
+        ids = [c.cell_id for c in result]
+        assert ids == [c.cell_id() for c in tiny_spec().cells()]
+
+    def test_worker_count_does_not_change_results(self):
+        spec = tiny_spec(seeds=(0, 1))
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=4)
+        assert [(c.cell_id, c.makespan) for c in serial] == (
+            [(c.cell_id, c.makespan) for c in parallel]
+        )
+
+    def test_rerun_is_deterministic(self):
+        a = run_experiment(tiny_spec())
+        b = run_experiment(tiny_spec())
+        assert [(c.cell_id, c.makespan, c.seed) for c in a] == (
+            [(c.cell_id, c.makespan, c.seed) for c in b]
+        )
+
+    def test_traces_kept_and_stripped(self):
+        spec = tiny_spec()
+        with_traces = run_experiment(spec, keep_traces=True)
+        se_cell = with_traces.by_algorithm("SE")[0]
+        assert len(se_cell.convergence_trace()) > 0
+        heft_cell = with_traces.by_algorithm("HEFT")[0]
+        assert heft_cell.trace is None  # deterministic: no trace at all
+        stripped = run_experiment(spec, keep_traces=False)
+        assert all(c.trace is None for c in stripped)
+
+    def test_run_cell_records_classification(self):
+        cell = tiny_spec().cells()[0]
+        res = run_cell(cell)
+        assert res.num_tasks == 12 and res.num_machines == 3
+        assert res.connectivity and res.heterogeneity
+        assert res.normalized >= 1.0 or res.normalized > 0
+
+
+class TestCacheResume:
+    def test_cache_files_written_and_reused(self, tmp_path):
+        spec = tiny_spec()
+        calls = []
+        first = run_experiment(
+            spec,
+            cache_dir=tmp_path,
+            progress=lambda d, t, c, cached: calls.append(cached),
+        )
+        assert calls and not any(calls)  # everything computed
+        assert len(list(tmp_path.glob("*.json"))) == len(spec.cells())
+
+        calls.clear()
+        second = run_experiment(
+            spec,
+            cache_dir=tmp_path,
+            progress=lambda d, t, c, cached: calls.append(cached),
+        )
+        assert calls and all(calls)  # everything from cache
+        assert [(c.cell_id, c.makespan) for c in first] == (
+            [(c.cell_id, c.makespan) for c in second]
+        )
+
+    def test_partial_cache_runs_only_missing_cells(self, tmp_path):
+        spec = tiny_spec()
+        run_experiment(spec, cache_dir=tmp_path)
+        # drop one cache entry -> exactly one cell re-runs
+        victims = sorted(tmp_path.glob("SE__w1__s0.*.json"))
+        assert victims
+        victims[0].unlink()
+        fresh = []
+        run_experiment(
+            spec,
+            cache_dir=tmp_path,
+            progress=lambda d, t, c, cached: fresh.append(c.cell_id)
+            if not cached
+            else None,
+        )
+        assert fresh == ["SE__w1__s0"]
+
+    def test_changed_params_invalidate_cache(self, tmp_path):
+        run_experiment(tiny_spec(iters=5), cache_dir=tmp_path)
+        before = len(list(tmp_path.glob("*.json")))
+        computed = []
+        run_experiment(
+            tiny_spec(iters=6),
+            cache_dir=tmp_path,
+            progress=lambda d, t, c, cached: computed.append(cached),
+        )
+        # HEFT cells unchanged -> cached; SE cells changed -> re-run
+        assert len(list(tmp_path.glob("*.json"))) > before
+        assert any(computed) and not all(computed)
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        spec = tiny_spec()
+        run_experiment(spec, cache_dir=tmp_path)
+        victim = sorted(tmp_path.glob("*.json"))[0]
+        victim.write_text("{not json")
+        result = run_experiment(spec, cache_dir=tmp_path)
+        assert len(result) == len(spec.cells())
+
+    def test_trace_and_plain_caches_are_separate(self, tmp_path):
+        spec = tiny_spec()
+        run_experiment(spec, cache_dir=tmp_path, keep_traces=False)
+        result = run_experiment(spec, cache_dir=tmp_path, keep_traces=True)
+        # the with-traces run must not be served stripped results
+        assert len(result.by_algorithm("SE")[0].convergence_trace()) > 0
+
+
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path):
+        result = run_experiment(tiny_spec())
+        path = result.save_json(tmp_path / "r.json")
+        back = ExperimentResult.load_json(path)
+        assert [(c.cell_id, c.makespan) for c in back] == (
+            [(c.cell_id, c.makespan) for c in result]
+        )
+
+    def test_csv_has_one_row_per_cell(self, tmp_path):
+        result = run_experiment(tiny_spec())
+        path = result.save_csv(tmp_path / "r.csv")
+        lines = Path(path).read_text().strip().splitlines()
+        assert len(lines) == len(result) + 1  # header + cells
+        assert lines[0].startswith("cell_id,algorithm,workload")
+
+    def test_version_guard(self, tmp_path):
+        doc = run_experiment(tiny_spec()).to_dict()
+        doc["version"] = 999
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema"):
+            ExperimentResult.load_json(p)
+
+
+class TestProgress:
+    def test_progress_counts_monotonically(self):
+        seen = []
+        run_experiment(
+            tiny_spec(),
+            progress=lambda done, total, cell, cached: seen.append(
+                (done, total)
+            ),
+        )
+        total = len(tiny_spec().cells())
+        assert seen == [(i + 1, total) for i in range(total)]
+
+
+class TestEffectiveSeed:
+    def test_pinned_params_seed_is_recorded(self):
+        spec = ExperimentSpec(
+            name="pinned",
+            algorithms={
+                "SE": AlgorithmSpec.make("se", max_iterations=3, seed=33)
+            },
+            workloads=[
+                WorkloadSpec(num_tasks=8, num_machines=2, seed=1, name="w")
+            ],
+        )
+        cell = run_cell(spec.cells()[0])
+        assert cell.seed == 33  # the seed actually used, not the derived one

@@ -111,3 +111,33 @@ class TestCompareAndFigures:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "9"])
+
+
+class TestSweep:
+    def test_sweep_league_and_artifacts(self, tmp_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--name", "t",
+                "--algos", "heft,olb",
+                "--tasks", "10",
+                "--machines", "2",
+                "--connectivities", "low",
+                "--heterogeneities", "low",
+                "--ccrs", "0.5",
+                "--workers", "1",
+                "--quiet",
+                "--out", str(tmp_path),
+                "--cache", str(tmp_path / "cache"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "league" in out
+        assert (tmp_path / "t.json").exists()
+        assert (tmp_path / "t.csv").exists()
+        assert list((tmp_path / "cache").glob("*.json"))
+
+    def test_sweep_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit, match="unknown algorithms"):
+            main(["sweep", "--algos", "bogus"])
