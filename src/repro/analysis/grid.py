@@ -29,6 +29,7 @@ from repro.model.workload import Workload
 from repro.runner.pool import ProgressFn, run_experiment
 from repro.runner.results import ExperimentResult
 from repro.runner.spec import AlgorithmSpec, ExperimentSpec
+from repro.schedule.backend import DEFAULT_NETWORK
 from repro.schedule.metrics import normalized_makespan
 from repro.workloads.suite import WorkloadSuite
 
@@ -41,7 +42,12 @@ GridAlgorithm = Union[AlgorithmSpec, Algorithm]
 
 @dataclass(frozen=True)
 class GridCellResult:
-    """One (workload, algorithm) measurement."""
+    """One (workload, algorithm) measurement.
+
+    ``network`` records which simulator backend produced the makespan
+    (``"contention-free"`` | ``"nic"`` | custom), so mixed-scenario
+    grids stay disaggregable.
+    """
 
     workload_name: str
     connectivity: str
@@ -50,6 +56,7 @@ class GridCellResult:
     algorithm: str
     makespan: float
     normalized: float
+    network: str = DEFAULT_NETWORK
 
 
 @dataclass
@@ -99,12 +106,16 @@ class GridResult:
         connectivity: str | None = None,
         heterogeneity: str | None = None,
         ccr: float | None = None,
+        network: str | None = None,
         rel_tol: float = 1e-3,
     ) -> WinLossRecord:
         """Win/loss of *algo_a* vs *algo_b*, optionally class-restricted.
 
         ``rel_tol`` treats makespans within 0.1% as ties by default —
-        stochastic heuristics routinely land that close.
+        stochastic heuristics routinely land that close.  ``network``
+        restricts the record to cells scored under one simulator
+        backend (makespans from different cost models are not
+        comparable head-to-head).
         """
 
         def predicate(cell: GridCellResult) -> bool:
@@ -113,6 +124,8 @@ class GridResult:
             if heterogeneity is not None and cell.heterogeneity != heterogeneity:
                 return False
             if ccr is not None and cell.ccr != ccr:
+                return False
+            if network is not None and cell.network != network:
                 return False
             return True
 
@@ -170,6 +183,7 @@ def grid_from_experiment(result: ExperimentResult) -> GridResult:
                 algorithm=c.algorithm,
                 makespan=c.makespan,
                 normalized=c.normalized,
+                network=c.network,
             )
         )
     return grid

@@ -1,10 +1,19 @@
 """Common result type and machine-choice substrate for the static baselines.
 
 Every baseline returns a :class:`BaselineResult` whose schedule was
-produced by the *same* :class:`~repro.schedule.simulator.Simulator`
-semantics as SE and the GA — non-insertion, string order = per-machine
-execution order — so makespans are directly comparable across all
-algorithms in the library.
+produced by the *same* simulator semantics as SE and the GA —
+non-insertion, string order = per-machine execution order — so makespans
+are directly comparable across all algorithms in the library.
+
+Baselines take a ``network`` selector (see :mod:`repro.schedule.backend`)
+like the metaheuristics do.  Under the default contention-free model the
+builder's incremental EFT queries are *exact* and the assembled schedule
+is cross-checked against the simulator.  Under ``"nic"`` the queries are
+a deterministic greedy *estimate* (each cross-machine input is fetched
+through the producer machine's serialised NIC as currently reserved);
+the exact eager-push cost of the final string depends on machine choices
+a list scheduler has not made yet, so the reported makespan is always
+re-measured through the real backend.
 """
 
 from __future__ import annotations
@@ -12,19 +21,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.model.workload import Workload
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    NIC_NETWORK,
+    make_simulator,
+    plain_schedule,
+)
 from repro.schedule.encoding import ScheduleString
-from repro.schedule.simulator import Schedule, Simulator
+from repro.schedule.simulator import Schedule
 
 
 @dataclass(frozen=True)
 class BaselineResult:
-    """Outcome of a (usually deterministic) baseline scheduler."""
+    """Outcome of a (usually deterministic) baseline scheduler.
+
+    ``makespan`` is measured under the ``network`` backend the baseline
+    ran with (recorded here so downstream tables can tell the scenarios
+    apart).
+    """
 
     name: str
     string: ScheduleString
     schedule: Schedule
     makespan: float
     evaluations: int = 0
+    network: str = DEFAULT_NETWORK
 
 
 class IncrementalScheduleBuilder:
@@ -32,22 +53,39 @@ class IncrementalScheduleBuilder:
 
     Maintains per-machine availability and per-task finish times so that
     list schedulers can ask "what would task *t* finish at on machine
-    *m*?" in O(in-degree) without re-simulating the prefix.  The final
-    :meth:`to_result` re-evaluates the assembled string through the
-    shared simulator (and asserts agreement) so baselines cannot drift
-    from the reference cost model.
+    *m*?" in O(in-degree) without re-simulating the prefix.  With
+    ``network="nic"`` it additionally reserves each producer machine's
+    outgoing link per committed transfer, so EFT queries price NIC
+    contention into the greedy choices.  The final :meth:`to_result`
+    re-evaluates the assembled string through the shared backend; for the
+    contention-free model it also asserts agreement, so baselines cannot
+    drift from the reference cost model.
     """
 
-    def __init__(self, workload: Workload, name: str):
+    def __init__(
+        self,
+        workload: Workload,
+        name: str,
+        network: str = DEFAULT_NETWORK,
+    ):
         self._workload = workload
         self._name = name
+        # normalised like make_simulator resolves it, so the exactness
+        # cross-check and the NIC pricing key on the actual backend
+        self._network = network.lower()
         self._graph = workload.graph
         self._E = workload.exec_times.values.tolist()
         self._finish: dict[int, float] = {}
         self._machine_avail = [0.0] * workload.num_machines
         self._machine_of: list[int | None] = [None] * workload.num_tasks
         self._order: list[int] = []
-        # per consumer: (producer, item) pairs
+        # NIC-free reservation per machine; only consulted under "nic"
+        # (a custom registered network gets contention-free estimates
+        # for its greedy decisions — we cannot guess its semantics —
+        # but is still measured through its real backend in to_result).
+        self._nic_aware = self._network == NIC_NETWORK
+        self._nic_free = [0.0] * workload.num_machines
+        # per consumer: (producer, item) pairs in ascending item order
         incoming: list[list[tuple[int, int]]] = [
             [] for _ in range(workload.num_tasks)
         ]
@@ -59,23 +97,53 @@ class IncrementalScheduleBuilder:
     def scheduled_count(self) -> int:
         return len(self._order)
 
-    def data_ready_time(self, task: int, machine: int) -> float:
+    @property
+    def network(self) -> str:
+        return self._network
+
+    def _ready_time(self, task: int, machine: int, commit: bool) -> float:
         """Earliest time all inputs of *task* are available on *machine*.
 
-        Requires every predecessor to be scheduled already.
+        Under ``"nic"``, cross-machine fetches serialise on each source
+        machine's outgoing link (in item-index order); *commit* persists
+        the link reservations — probes leave the builder untouched.
         """
         w = self._workload
         ready = 0.0
+        local_free: dict[int, float] | None = (
+            {} if self._nic_aware and not commit else None
+        )
         for prod, item in self._incoming[task]:
             if prod not in self._finish:
                 raise ValueError(
                     f"cannot query task {task}: predecessor {prod} unscheduled"
                 )
             pm = self._machine_of[prod]
-            arrival = self._finish[prod] + w.comm_time(pm, machine, item)
+            if pm == machine or not self._nic_aware:
+                arrival = self._finish[prod] + w.comm_time(pm, machine, item)
+            else:
+                free = (
+                    local_free.get(pm, self._nic_free[pm])
+                    if local_free is not None
+                    else self._nic_free[pm]
+                )
+                t_start = max(self._finish[prod], free)
+                arrival = t_start + w.comm_time(pm, machine, item)
+                if local_free is not None:
+                    local_free[pm] = arrival
+                else:
+                    self._nic_free[pm] = arrival
             if arrival > ready:
                 ready = arrival
         return ready
+
+    def data_ready_time(self, task: int, machine: int) -> float:
+        """Earliest time all inputs of *task* are available on *machine*.
+
+        Requires every predecessor to be scheduled already.  Pure query:
+        never commits NIC reservations.
+        """
+        return self._ready_time(task, machine, commit=False)
 
     def finish_time(self, task: int, machine: int) -> float:
         """EFT of *task* on *machine* under non-insertion semantics."""
@@ -99,7 +167,11 @@ class IncrementalScheduleBuilder:
         """Commit *task* to *machine*; returns its finish time."""
         if self._machine_of[task] is not None:
             raise ValueError(f"task {task} is already scheduled")
-        fin = self.finish_time(task, machine)
+        start = max(
+            self._machine_avail[machine],
+            self._ready_time(task, machine, commit=True),
+        )
+        fin = start + self._E[machine][task]
         self._finish[task] = fin
         self._machine_avail[machine] = fin
         self._machine_of[task] = machine
@@ -107,7 +179,13 @@ class IncrementalScheduleBuilder:
         return fin
 
     def to_result(self, evaluations: int = 0) -> BaselineResult:
-        """Finalize: build the string, re-simulate, and cross-check."""
+        """Finalize: build the string, re-simulate under the backend.
+
+        Contention-free runs additionally cross-check the builder's
+        expected makespan against the simulator (exact agreement); the
+        NIC builder's queries are estimates by design, so there the
+        backend measurement simply *is* the result.
+        """
         if len(self._order) != self._workload.num_tasks:
             raise ValueError(
                 f"only {len(self._order)} of {self._workload.num_tasks} "
@@ -118,17 +196,20 @@ class IncrementalScheduleBuilder:
             [int(m) for m in self._machine_of],  # type: ignore[arg-type]
             self._workload.num_machines,
         )
-        schedule = Simulator(self._workload).evaluate(string)
-        expected = max(self._finish.values())
-        if abs(schedule.makespan - expected) > 1e-6 * max(1.0, expected):
-            raise AssertionError(
-                f"builder makespan {expected} disagrees with simulator "
-                f"{schedule.makespan}; cost models diverged"
-            )
+        sim = make_simulator(self._workload, self._network)
+        schedule = plain_schedule(sim.evaluate(string))
+        if self._network == DEFAULT_NETWORK:
+            expected = max(self._finish.values())
+            if abs(schedule.makespan - expected) > 1e-6 * max(1.0, expected):
+                raise AssertionError(
+                    f"builder makespan {expected} disagrees with simulator "
+                    f"{schedule.makespan}; cost models diverged"
+                )
         return BaselineResult(
             name=self._name,
             string=string,
             schedule=schedule,
             makespan=schedule.makespan,
             evaluations=evaluations,
+            network=self._network,
         )

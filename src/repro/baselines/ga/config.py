@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.schedule.backend import DEFAULT_NETWORK
 from repro.utils.rng import RandomSource
 
 
@@ -51,6 +52,10 @@ class GAConfig:
         slightly more simulator calls).  The switch exists for
         benchmarking and for the equivalence test in
         ``tests/baselines/test_ga.py``.
+    network:
+        Simulator backend name the run optimises against (extension
+        beyond Wang et al.): ``"contention-free"`` (default) or
+        ``"nic"`` — see :mod:`repro.schedule.backend`.
     seed:
         Seed / generator for all stochastic choices.
     """
@@ -63,6 +68,7 @@ class GAConfig:
     time_limit: Optional[float] = None
     stall_generations: Optional[int] = 150
     incremental_evaluation: bool = True
+    network: str = DEFAULT_NETWORK
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -92,4 +98,8 @@ class GAConfig:
         if self.stall_generations is not None and self.stall_generations < 1:
             raise ValueError(
                 f"stall_generations must be >= 1, got {self.stall_generations}"
+            )
+        if not isinstance(self.network, str) or not self.network:
+            raise ValueError(
+                f"network must be a backend name string, got {self.network!r}"
             )

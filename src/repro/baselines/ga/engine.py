@@ -38,8 +38,9 @@ from repro.baselines.ga.operators import (
     scheduling_mutation,
 )
 from repro.model.workload import Workload
+from repro.schedule.backend import make_simulator, plain_schedule
 from repro.schedule.encoding import ScheduleString
-from repro.schedule.simulator import Schedule, Simulator
+from repro.schedule.simulator import Schedule
 from repro.utils.rng import as_rng
 from repro.utils.timers import Stopwatch
 
@@ -111,7 +112,9 @@ class GeneticAlgorithm:
         rng = as_rng(cfg.seed)
         graph = workload.graph
         l = workload.num_machines
-        sim = Simulator(workload)
+        # Fitness comes from the configured backend, so "nic" makes the
+        # whole evolution optimise under NIC contention.
+        sim = make_simulator(workload, cfg.network)
         evaluations = 0
 
         population = [c.copy() for c in (initial or [])][: cfg.population_size]
@@ -253,7 +256,7 @@ class GeneticAlgorithm:
         return GAResult(
             best_string=best_string,
             best_makespan=float(best.cost),
-            best_schedule=sim.evaluate(best_string),
+            best_schedule=plain_schedule(sim.evaluate(best_string)),
             trace=trace,
             generations=generation,
             evaluations=evaluations,

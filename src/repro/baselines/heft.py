@@ -19,10 +19,21 @@ from __future__ import annotations
 from repro.baselines.base import BaselineResult
 from repro.baselines.listsched import list_schedule, upward_ranks
 from repro.model.workload import Workload
+from repro.schedule.backend import DEFAULT_NETWORK
 
 __all__ = ["heft", "upward_ranks"]
 
 
-def heft(workload: Workload) -> BaselineResult:
-    """Schedule *workload* with HEFT; deterministic."""
-    return list_schedule(workload, priority="upward_rank", name="heft")
+def heft(
+    workload: Workload, network: str = DEFAULT_NETWORK
+) -> BaselineResult:
+    """Schedule *workload* with HEFT; deterministic.
+
+    With ``network="nic"`` the EFT machine selection prices NIC
+    serialisation into every candidate (see
+    :class:`~repro.baselines.base.IncrementalScheduleBuilder`) and the
+    reported makespan is measured under the contention backend.
+    """
+    return list_schedule(
+        workload, priority="upward_rank", name="heft", network=network
+    )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineResult, IncrementalScheduleBuilder
 from repro.model.workload import Workload
+from repro.schedule.backend import DEFAULT_NETWORK
 
 Priority = Literal["upward_rank", "downward_rank", "level"]
 
@@ -107,10 +108,16 @@ def list_schedule(
     workload: Workload,
     priority: Priority = "upward_rank",
     name: str | None = None,
+    network: str = DEFAULT_NETWORK,
 ) -> BaselineResult:
-    """Run the generic list scheduler with the given priority."""
+    """Run the generic list scheduler with the given priority.
+
+    *network* selects the cost model the EFT phase (and the reported
+    makespan) uses; the rank phase deliberately keeps its mean-cost
+    estimates — ranks are a priority heuristic, not a cost claim.
+    """
     builder = IncrementalScheduleBuilder(
-        workload, name or f"list-{priority}"
+        workload, name or f"list-{priority}", network=network
     )
     for task in task_processing_order(workload, priority):
         machine, _ = builder.best_machine(task)

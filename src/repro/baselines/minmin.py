@@ -20,14 +20,17 @@ from typing import Literal
 
 from repro.baselines.base import BaselineResult, IncrementalScheduleBuilder
 from repro.model.workload import Workload
+from repro.schedule.backend import DEFAULT_NETWORK
 
 Flavor = Literal["min", "max"]
 
 
-def _ready_list_schedule(workload: Workload, flavor: Flavor) -> BaselineResult:
+def _ready_list_schedule(
+    workload: Workload, flavor: Flavor, network: str = DEFAULT_NETWORK
+) -> BaselineResult:
     graph = workload.graph
     name = "min-min" if flavor == "min" else "max-min"
-    builder = IncrementalScheduleBuilder(workload, name)
+    builder = IncrementalScheduleBuilder(workload, name, network=network)
 
     indeg = [len(graph.predecessors(t)) for t in range(graph.num_tasks)]
     ready = sorted(t for t in range(graph.num_tasks) if indeg[t] == 0)
@@ -55,11 +58,23 @@ def _ready_list_schedule(workload: Workload, flavor: Flavor) -> BaselineResult:
     return builder.to_result(evaluations=evaluations)
 
 
-def min_min(workload: Workload) -> BaselineResult:
-    """Ready-list Min-min schedule of *workload*; deterministic."""
-    return _ready_list_schedule(workload, "min")
+def min_min(
+    workload: Workload, network: str = DEFAULT_NETWORK
+) -> BaselineResult:
+    """Ready-list Min-min schedule of *workload*; deterministic.
+
+    ``network="nic"`` prices NIC serialisation into the completion-time
+    queries and the reported makespan.
+    """
+    return _ready_list_schedule(workload, "min", network=network)
 
 
-def max_min(workload: Workload) -> BaselineResult:
-    """Ready-list Max-min schedule of *workload*; deterministic."""
-    return _ready_list_schedule(workload, "max")
+def max_min(
+    workload: Workload, network: str = DEFAULT_NETWORK
+) -> BaselineResult:
+    """Ready-list Max-min schedule of *workload*; deterministic.
+
+    ``network="nic"`` prices NIC serialisation into the completion-time
+    queries and the reported makespan.
+    """
+    return _ready_list_schedule(workload, "max", network=network)

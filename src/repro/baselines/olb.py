@@ -10,11 +10,16 @@ from __future__ import annotations
 
 from repro.baselines.base import BaselineResult, IncrementalScheduleBuilder
 from repro.model.workload import Workload
+from repro.schedule.backend import DEFAULT_NETWORK
 
 
-def olb(workload: Workload) -> BaselineResult:
-    """Schedule *workload* with OLB; deterministic."""
-    builder = IncrementalScheduleBuilder(workload, "olb")
+def olb(workload: Workload, network: str = DEFAULT_NETWORK) -> BaselineResult:
+    """Schedule *workload* with OLB; deterministic.
+
+    OLB stays communication-blind by definition; *network* only changes
+    the cost model the finished schedule is measured under.
+    """
+    builder = IncrementalScheduleBuilder(workload, "olb", network=network)
     avail = [0.0] * workload.num_machines
     for task in workload.graph.topological_order():
         # earliest-available machine, ties -> lowest id

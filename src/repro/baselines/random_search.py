@@ -12,8 +12,12 @@ from typing import Optional
 from repro.analysis.trace import ConvergenceTrace, IterationRecord
 from repro.baselines.base import BaselineResult
 from repro.model.workload import Workload
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    make_simulator,
+    plain_schedule,
+)
 from repro.schedule.operations import random_valid_string
-from repro.schedule.simulator import Simulator
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.timers import Stopwatch
 
@@ -24,6 +28,7 @@ def random_search(
     seed: RandomSource = None,
     time_limit: Optional[float] = None,
     trace: Optional[ConvergenceTrace] = None,
+    network: str = DEFAULT_NETWORK,
 ) -> BaselineResult:
     """Best of *samples* uniformly random valid strings.
 
@@ -40,11 +45,13 @@ def random_search(
     trace:
         Optional :class:`ConvergenceTrace` to append best-so-far records
         to (for time-vs-quality comparisons).
+    network:
+        Simulator backend scoring the samples (and the result).
     """
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
     rng = as_rng(seed)
-    sim = Simulator(workload)
+    sim = make_simulator(workload, network)
     watch = Stopwatch()
 
     best_string = None
@@ -74,7 +81,8 @@ def random_search(
     return BaselineResult(
         name="random-search",
         string=best_string,
-        schedule=sim.evaluate(best_string),
+        schedule=plain_schedule(sim.evaluate(best_string)),
         makespan=best_cost,
         evaluations=drawn,
+        network=network,
     )

@@ -10,7 +10,8 @@ Subcommands
   5, 6, 7) as an ASCII chart.
 * ``sweep``     — a parallel algorithms × workload-grid × seeds sweep
   through :mod:`repro.runner` (``--workers N``, resume via ``--cache``),
-  with JSON/CSV artifacts and a league table.
+  with JSON/CSV artifacts and a league table; ``--network nic`` runs
+  every algorithm against the NIC-contention backend.
 * ``export``    — write artifacts to disk: the workload as JSON, its DAG
   as Graphviz DOT, and an SE schedule as JSON + SVG Gantt chart.
 
@@ -94,6 +95,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 time_limit=args.budget,
                 y_candidates=args.y,
                 selection_bias=args.bias,
+                network=args.network,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -108,6 +110,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 max_generations=args.iterations,
                 time_limit=args.budget,
+                network=args.network,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -121,15 +124,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "minmin": min_min,
             "maxmin": max_min,
             "olb": olb,
-            "random": lambda w: random_search(
-                w, samples=args.iterations, seed=args.seed
+            "random": lambda w, network: random_search(
+                w, samples=args.iterations, seed=args.seed, network=network
             ),
         }
-        res = fns[algo](w)
+        res = fns[algo](w, network=args.network)
         schedule, makespan = res.schedule, res.makespan
         print(f"{res.name} finished ({res.evaluations} evaluations)")
 
-    print(f"\nmakespan: {makespan:.2f}\n")
+    print(f"\nmakespan ({args.network}): {makespan:.2f}\n")
     print(compute_metrics(w, schedule).describe())
     if args.gantt:
         print("\n" + Timeline(schedule, w.num_machines).render_ascii())
@@ -229,6 +232,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
 
     def algo_spec(kind: str) -> AlgorithmSpec:
+        network = {"network": args.network}
         if kind in ("se", "hybrid"):
             params = {"max_iterations": args.iterations}
             if args.budget is not None:
@@ -236,7 +240,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "time_limit": args.budget,
                     "max_iterations": 10**9,
                 }
-            return AlgorithmSpec.make(kind, **params)
+            return AlgorithmSpec.make(kind, **params, **network)
         if kind == "ga":
             params = {
                 "max_generations": args.iterations,
@@ -248,10 +252,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "max_generations": 10**9,
                     "stall_generations": None,
                 }
-            return AlgorithmSpec.make("ga", **params)
+            return AlgorithmSpec.make("ga", **params, **network)
         if kind == "random":
-            return AlgorithmSpec.make("random", samples=args.iterations * 10)
-        return AlgorithmSpec.make(kind)
+            return AlgorithmSpec.make(
+                "random", samples=args.iterations * 10, **network
+            )
+        return AlgorithmSpec.make(kind, **network)
 
     suite = WorkloadSuite(
         num_tasks=args.tasks,
@@ -360,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=None, help="seconds")
     p.add_argument("--y", type=int, default=None, help="SE Y parameter")
     p.add_argument("--bias", type=float, default=None, help="SE selection bias B")
+    p.add_argument(
+        "--network",
+        default="contention-free",
+        choices=["contention-free", "nic"],
+        help="simulator backend: paper model or NIC serialisation",
+    )
     p.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
     p.set_defaults(func=_cmd_run)
 
@@ -396,6 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
             "wall-clock seconds per se/ga/hybrid run (lifts iteration "
             "caps; deterministic heuristics and random are unaffected)"
         ),
+    )
+    p.add_argument(
+        "--network",
+        default="contention-free",
+        choices=["contention-free", "nic"],
+        help="simulator backend every algorithm optimises against",
     )
     p.add_argument("--workers", type=int, default=1, help="process count")
     p.add_argument("--cache", default=None, help="resume-cache directory")

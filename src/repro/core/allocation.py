@@ -32,8 +32,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.model.workload import Workload
+from repro.schedule.backend import SimulatorBackend
 from repro.schedule.encoding import ScheduleString
-from repro.schedule.simulator import Schedule, Simulator
+from repro.schedule.simulator import Schedule
 from repro.schedule.valid_range import (
     machine_slot_indices,
     valid_insertion_range,
@@ -70,7 +71,11 @@ class Allocator:
     Parameters
     ----------
     workload / simulator:
-        The problem instance and its evaluation context.
+        The problem instance and its evaluation context — any
+        :class:`~repro.schedule.backend.SimulatorBackend` (the paper's
+        contention-free :class:`~repro.schedule.simulator.Simulator` or
+        the NIC-contention backend); probes always go through the
+        backend's ``evaluate_delta``.
     y_candidates:
         The resolved ``Y`` (1..l).
     slots:
@@ -82,7 +87,7 @@ class Allocator:
     def __init__(
         self,
         workload: Workload,
-        simulator: Simulator,
+        simulator: SimulatorBackend,
         y_candidates: int,
         slots: str = "per-machine",
     ):

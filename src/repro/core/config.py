@@ -13,6 +13,10 @@ defaults and ranges:
   equivalence optimisation (identical reachable schedules, fewer
   simulator calls); ``"all-positions"`` is the literal every-position
   enumeration kept for the ABL-SLOT ablation.
+
+Beyond the paper, ``network`` selects the simulator backend the run
+optimises against (see :mod:`repro.schedule.backend`): the paper's
+``"contention-free"`` model or the NIC-serialisation model ``"nic"``.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal, Optional
 
+from repro.schedule.backend import DEFAULT_NETWORK
 from repro.utils.rng import RandomSource
 
 AllocationSlots = Literal["per-machine", "all-positions"]
@@ -70,6 +75,13 @@ class SEConfig:
         equals this target (see
         :func:`repro.core.selection.bias_for_target_fraction`).  Keeps
         selection pressure constant even after goodness saturates.
+    network:
+        Simulator backend name the run optimises against (extension
+        beyond the paper): ``"contention-free"`` (paper model, default)
+        or ``"nic"`` (one outgoing link per machine; see
+        :mod:`repro.extensions.contention`).  Resolved through
+        :func:`repro.schedule.backend.make_simulator`, so downstream
+        models registered with ``register_network`` work too.
     seed:
         Seed / generator for all stochastic choices of the run.
 
@@ -87,6 +99,7 @@ class SEConfig:
     stall_iterations: Optional[int] = None
     initial_shuffle_range: tuple[float, float] = (1.0, 3.0)
     allocation_slots: AllocationSlots = "per-machine"
+    network: str = DEFAULT_NETWORK
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -121,6 +134,10 @@ class SEConfig:
             raise ValueError(
                 f"allocation_slots must be 'per-machine' or 'all-positions', "
                 f"got {self.allocation_slots!r}"
+            )
+        if not isinstance(self.network, str) or not self.network:
+            raise ValueError(
+                f"network must be a backend name string, got {self.network!r}"
             )
 
     def resolved_bias(self, num_tasks: int) -> float:

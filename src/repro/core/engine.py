@@ -35,8 +35,9 @@ from repro.core.initial import initial_solution
 from repro.core.observers import Observer
 from repro.core.selection import bias_for_target_fraction, select_subtasks
 from repro.model.workload import Workload
+from repro.schedule.backend import make_simulator, plain_schedule
 from repro.schedule.encoding import ScheduleString
-from repro.schedule.simulator import Schedule, Simulator
+from repro.schedule.simulator import Schedule
 from repro.utils.rng import as_rng
 from repro.utils.timers import Stopwatch
 
@@ -50,7 +51,8 @@ class SEResult:
     best_string:
         The best solution found (a copy; safe to keep).
     best_makespan:
-        Its schedule length — the paper's objective value.
+        Its schedule length — the paper's objective value, measured
+        under the configured ``network`` backend.
     best_schedule:
         The fully evaluated best schedule (start/finish times).
     trace:
@@ -105,7 +107,9 @@ class SimulatedEvolution:
         cfg = self.config
         rng = as_rng(cfg.seed)
         graph = workload.graph
-        sim = Simulator(workload)
+        # The backend is the objective: "nic" makes every probe, commit
+        # and best-makespan account for NIC serialisation.
+        sim = make_simulator(workload, cfg.network)
         goodness = GoodnessEvaluator(workload)
         bias = cfg.resolved_bias(graph.num_tasks)
         y = cfg.resolved_y(workload.num_machines)
@@ -127,7 +131,7 @@ class SimulatedEvolution:
         trace = ConvergenceTrace()
         evaluations = 0
 
-        current = sim.evaluate(string)
+        current = plain_schedule(sim.evaluate(string))
         evaluations += 1
         best_string = string.copy()
         best_makespan = current.makespan
@@ -186,7 +190,7 @@ class SimulatedEvolution:
         return SEResult(
             best_string=best_string,
             best_makespan=best_makespan,
-            best_schedule=sim.evaluate(best_string),
+            best_schedule=plain_schedule(sim.evaluate(best_string)),
             trace=trace,
             iterations=iteration,
             evaluations=evaluations,

@@ -1,12 +1,14 @@
 """Extensions beyond the paper's model.
 
-* :mod:`~repro.extensions.contention` — NIC-serialised network model for
-  stress-testing the paper's contention-free assumption;
+* :mod:`~repro.extensions.contention` — NIC-serialised network model, a
+  full simulator backend (network name ``"nic"``) every optimiser in
+  the library can run against;
 * :mod:`~repro.extensions.hybrid` — HEFT-seeded warm starts for SE and
   the GA (never worse than HEFT by construction).
 """
 
 from repro.extensions.contention import (
+    ContentionDeltaState,
     ContentionSchedule,
     ContentionSimulator,
     TransferRecord,
@@ -15,6 +17,7 @@ from repro.extensions.contention import (
 from repro.extensions.hybrid import heft_seeded_ga, heft_seeded_se
 
 __all__ = [
+    "ContentionDeltaState",
     "ContentionSchedule",
     "ContentionSimulator",
     "TransferRecord",

@@ -8,24 +8,50 @@ one-NIC-per-machine model:
 
 * each machine owns a single outgoing link;
 * when a subtask finishes, its output items destined for *other*
-  machines are sent in item-index order, each occupying the producer's
+  machines are sent in ascending item-index order (the ``_out_edges``
+  tables are sorted at construction, so the promise holds regardless of
+  how the graph stores its adjacency), each occupying the producer's
   NIC for its ``Tr`` duration;
 * a consumer may start only after its machine is free *and* every input
   item has arrived (same-machine items arrive instantly).
 
 The model is deliberately conservative (receive side is unmodelled), and
-it degrades exactly to the paper's model when transfers are free.  Use
-it to check how sensitive a schedule is to the contention-free
-assumption — the ``examples``/tests compare both evaluations of the same
-string.
+it degrades exactly to the paper's model when transfers are free (a
+property pinned by ``tests/properties/test_contention_backend_properties
+.py``).
+
+Full backend parity
+-------------------
+
+``ContentionSimulator`` implements the whole
+:class:`~repro.schedule.backend.SimulatorBackend` protocol, registered
+under the network name ``"nic"`` — so SE, the GA and the baselines can
+*optimise under* contention, not merely measure it after the fact.  The
+incremental tier mirrors :meth:`repro.schedule.simulator.Simulator.
+prepare` / ``evaluate_delta``: :meth:`ContentionSimulator.prepare`
+snapshots, per string position, the machine-availability vector, the
+NIC-free-time vector and the running span, plus the final item-arrival
+table; :meth:`ContentionSimulator.evaluate_delta` then re-scores a
+perturbed string suffix-only with branch-and-bound cutoff, bit-identical
+to a full evaluation.
+
+One contention-specific subtlety: pushes happen *eagerly* when the
+producer runs, and a push's duration (and whether it happens at all)
+depends on the **consumer's** machine.  A probe that changes the machine
+of a suffix subtask can therefore dirty the NIC timeline of a producer
+that sits in the untouched prefix.  ``evaluate_delta`` detects every
+machine reassignment against the base string and restarts the walk at
+the earliest producer position any of them can influence, so prefix
+reuse never changes the result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.model.workload import Workload
+from repro.schedule.backend import register_network
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.simulator import InvalidScheduleError, Schedule
 
@@ -49,7 +75,13 @@ class TransferRecord:
 
 @dataclass(frozen=True)
 class ContentionSchedule:
-    """A schedule evaluated under NIC contention."""
+    """A schedule evaluated under NIC contention.
+
+    Structurally compatible with :class:`~repro.schedule.simulator.
+    Schedule` (``order`` / ``machine_of`` / ``start`` / ``finish`` /
+    ``makespan`` all delegate to the wrapped plain schedule), plus the
+    per-transfer NIC records.
+    """
 
     schedule: Schedule
     transfers: tuple[TransferRecord, ...]
@@ -58,6 +90,26 @@ class ContentionSchedule:
     def makespan(self) -> float:
         return self.schedule.makespan
 
+    @property
+    def order(self) -> tuple[int, ...]:
+        return self.schedule.order
+
+    @property
+    def machine_of(self) -> tuple[int, ...]:
+        return self.schedule.machine_of
+
+    @property
+    def start(self) -> tuple[float, ...]:
+        return self.schedule.start
+
+    @property
+    def finish(self) -> tuple[float, ...]:
+        return self.schedule.finish
+
+    @property
+    def num_tasks(self) -> int:
+        return self.schedule.num_tasks
+
     def nic_busy_time(self, machine: int) -> float:
         """Total time *machine*'s outgoing link is occupied."""
         return sum(
@@ -65,88 +117,197 @@ class ContentionSchedule:
         )
 
 
+class ContentionDeltaState:
+    """Per-position snapshot of one full contention evaluation.
+
+    Produced by :meth:`ContentionSimulator.prepare`; consumed by
+    :meth:`ContentionSimulator.evaluate_delta`.  For ``k`` subtasks on
+    ``l`` machines with ``p`` data items it stores, for every position
+    ``q`` in ``0..k``:
+
+    * ``avail_rows[q]`` — per-machine availability before position ``q``;
+    * ``nic_rows[q]`` — per-machine NIC-free time before position ``q``;
+    * ``span_prefix[q]`` — makespan of the prefix ``[0, q)``;
+
+    plus the per-task ``start`` / ``finish`` arrays, the final per-item
+    ``arrival`` table (valid for every item produced before any suffix
+    restart point — see :meth:`ContentionSimulator.evaluate_delta`), the
+    base ``order`` / ``machine_of`` copies, ``pos_of`` and, per task, the
+    earliest base position among its producers (``producer_floor``, ``k``
+    for entry tasks) used to bound machine-reassignment effects.
+
+    Memory is ``O(k*l + p)``; building it costs one full evaluation.
+    """
+
+    __slots__ = (
+        "order",
+        "machine_of",
+        "pos_of",
+        "start",
+        "finish",
+        "arrival",
+        "avail_rows",
+        "nic_rows",
+        "span_prefix",
+        "producer_floor",
+        "makespan",
+    )
+
+    def __init__(
+        self,
+        order: list[int],
+        machine_of: list[int],
+        start: list[float],
+        finish: list[float],
+        arrival: list[float],
+        avail_rows: list[list[float]],
+        nic_rows: list[list[float]],
+        span_prefix: list[float],
+        producer_floor: list[int],
+        makespan: float,
+    ):
+        self.order = order
+        self.machine_of = machine_of
+        self.start = start
+        self.finish = finish
+        self.arrival = arrival
+        self.avail_rows = avail_rows
+        self.nic_rows = nic_rows
+        self.span_prefix = span_prefix
+        self.producer_floor = producer_floor
+        self.makespan = makespan
+        pos_of = [0] * len(order)
+        for q, task in enumerate(order):
+            pos_of[task] = q
+        self.pos_of = pos_of
+
+    def as_schedule(self) -> Schedule:
+        """The fully evaluated base schedule (no re-walk needed)."""
+        return Schedule(
+            order=tuple(self.order),
+            machine_of=tuple(self.machine_of),
+            start=tuple(self.start),
+            finish=tuple(self.finish),
+            makespan=self.makespan,
+        )
+
+
 class ContentionSimulator:
     """Schedule evaluation with per-machine outgoing-link serialisation.
 
-    API mirrors :class:`repro.schedule.simulator.Simulator` where it
-    overlaps (``evaluate`` / ``makespan`` / ``string_makespan``).
+    Full :class:`~repro.schedule.backend.SimulatorBackend`: the same
+    ``makespan`` / ``evaluate`` / ``prepare`` / ``evaluate_delta``
+    surface as :class:`repro.schedule.simulator.Simulator`, registered
+    as the ``"nic"`` network model.
     """
 
-    __slots__ = ("_workload", "_E", "_tr_time", "_out_items", "_in_items")
+    __slots__ = (
+        "_workload",
+        "_k",
+        "_l",
+        "_p",
+        "_E",
+        "_tr",
+        "_in_edges",
+        "_out_edges",
+    )
 
     def __init__(self, workload: Workload):
         self._workload = workload
-        self._E = workload.exec_times.values.tolist()
         graph = workload.graph
-        self._out_items = [
-            [graph.data_item(i) for i in graph.out_items(t)]
-            for t in range(graph.num_tasks)
+        self._k = graph.num_tasks
+        self._l = workload.num_machines
+        self._p = graph.num_data_items
+        self._E = workload.exec_times.values.tolist()
+        self._tr = workload.transfer_times.values.tolist()
+        # Per consumer: (producer, item) pairs — the data inputs.
+        in_edges: list[list[tuple[int, int]]] = [[] for _ in range(self._k)]
+        for d in graph.data_items:
+            in_edges[d.consumer].append((d.producer, d.index))
+        self._in_edges = [tuple(es) for es in in_edges]
+        # Per producer: (item, consumer) pairs in ascending item-index
+        # order — the documented NIC push order, enforced here rather
+        # than inherited from the graph's adjacency ordering.
+        self._out_edges = [
+            tuple(
+                (i, graph.data_item(i).consumer)
+                for i in sorted(graph.out_items(t))
+            )
+            for t in range(self._k)
         ]
-        self._in_items = [
-            [graph.data_item(i) for i in graph.in_items(t)]
-            for t in range(graph.num_tasks)
-        ]
-        self._tr_time = workload.comm_time
 
     @property
     def workload(self) -> Workload:
         return self._workload
 
+    # ------------------------------------------------------------------
+    # full evaluation
+    # ------------------------------------------------------------------
+
     def evaluate(self, string: ScheduleString) -> ContentionSchedule:
         """Full evaluation of *string* under NIC contention."""
-        w = self._workload
-        k = w.num_tasks
         order = string.order
         machine_of = string.machines
+        E = self._E
+        tr = self._tr
+        l = self._l
+        k = self._k
+        in_edges = self._in_edges
+        out_edges = self._out_edges
 
         start = [0.0] * k
         finish = [-1.0] * k
-        machine_avail = [0.0] * w.num_machines
-        nic_free = [0.0] * w.num_machines
-        arrival: dict[int, float] = {}  # item index -> arrival time
+        machine_avail = [0.0] * l
+        nic_free = [0.0] * l
+        arrival = [0.0] * self._p
         transfers: list[TransferRecord] = []
+        span = 0.0
 
         for task in order:
             m = machine_of[task]
             ready = machine_avail[m]
-            for d in self._in_items[task]:
-                if finish[d.producer] < 0.0:
+            for prod, item in in_edges[task]:
+                if finish[prod] < 0.0:
                     raise InvalidScheduleError(
-                        f"subtask {task} scheduled before its producer "
-                        f"{d.producer}"
+                        f"subtask {task} scheduled before its producer {prod}"
                     )
-                pm = machine_of[d.producer]
-                t_arr = finish[d.producer] if pm == m else arrival[d.index]
+                pm = machine_of[prod]
+                t_arr = finish[prod] if pm == m else arrival[item]
                 if t_arr > ready:
                     ready = t_arr
-            st = ready
-            fin = st + self._E[m][task]
-            start[task] = st
+            fin = ready + E[m][task]
+            start[task] = ready
             finish[task] = fin
             machine_avail[m] = fin
+            if fin > span:
+                span = fin
 
             # eager push: send every cross-machine output item, in item
             # order, serialised on this machine's NIC
-            for d in self._out_items[task]:
-                dst = machine_of[d.consumer]
+            nf = nic_free[m]
+            for item, consumer in out_edges[task]:
+                dst = machine_of[consumer]
                 if dst == m:
                     continue
-                dur = self._tr_time(m, dst, d.index)
-                t_start = max(fin, nic_free[m])
-                t_finish = t_start + dur
-                nic_free[m] = t_finish
-                arrival[d.index] = t_finish
+                if dst < m:
+                    row = dst * l - dst * (dst + 1) // 2 + (m - dst - 1)
+                else:
+                    row = m * l - m * (m + 1) // 2 + (dst - m - 1)
+                t_start = fin if fin > nf else nf
+                nf = t_start + tr[row][item]
+                arrival[item] = nf
                 transfers.append(
                     TransferRecord(
-                        item=d.index,
+                        item=item,
                         producer=task,
-                        consumer=d.consumer,
+                        consumer=consumer,
                         src_machine=m,
                         dst_machine=dst,
                         start=t_start,
-                        finish=t_finish,
+                        finish=nf,
                     )
                 )
+            nic_free[m] = nf
 
         return ContentionSchedule(
             schedule=Schedule(
@@ -154,7 +315,7 @@ class ContentionSimulator:
                 machine_of=tuple(machine_of),
                 start=tuple(start),
                 finish=tuple(finish),
-                makespan=max(finish),
+                makespan=span,
             ),
             transfers=tuple(transfers),
         )
@@ -162,12 +323,265 @@ class ContentionSimulator:
     def makespan(
         self, order: Sequence[int], machine_of: Sequence[int]
     ) -> float:
-        """Makespan only (still builds transfer records internally)."""
-        s = ScheduleString(list(order), list(machine_of), self._workload.num_machines)
-        return self.evaluate(s).makespan
+        """Makespan only — the hot path (no transfer records built).
+
+        Raises
+        ------
+        InvalidScheduleError
+            If *order* places a consumer before one of its producers.
+        """
+        E = self._E
+        tr = self._tr
+        l = self._l
+        in_edges = self._in_edges
+        out_edges = self._out_edges
+        finish = [-1.0] * self._k
+        machine_avail = [0.0] * l
+        nic_free = [0.0] * l
+        arrival = [0.0] * self._p
+        span = 0.0
+
+        for task in order:
+            m = machine_of[task]
+            ready = machine_avail[m]
+            for prod, item in in_edges[task]:
+                pf = finish[prod]
+                if pf < 0.0:
+                    raise InvalidScheduleError(
+                        f"subtask {task} scheduled before its producer {prod}"
+                    )
+                t_arr = pf if machine_of[prod] == m else arrival[item]
+                if t_arr > ready:
+                    ready = t_arr
+            fin = ready + E[m][task]
+            finish[task] = fin
+            machine_avail[m] = fin
+            if fin > span:
+                span = fin
+            nf = nic_free[m]
+            for item, consumer in out_edges[task]:
+                dst = machine_of[consumer]
+                if dst == m:
+                    continue
+                if dst < m:
+                    row = dst * l - dst * (dst + 1) // 2 + (m - dst - 1)
+                else:
+                    row = m * l - m * (m + 1) // 2 + (dst - m - 1)
+                t_start = fin if fin > nf else nf
+                nf = t_start + tr[row][item]
+                arrival[item] = nf
+            nic_free[m] = nf
+        return span
 
     def string_makespan(self, string: ScheduleString) -> float:
-        return self.evaluate(string).makespan
+        """Makespan of a :class:`ScheduleString` (thin convenience)."""
+        return self.makespan(string.order, string.machines)
+
+    def finish_times(self, string: ScheduleString) -> list[float]:
+        """Per-subtask finish times under contention — SE's ``Ci``."""
+        return list(self.evaluate(string).finish)
+
+    # ------------------------------------------------------------------
+    # incremental (suffix-only) evaluation
+    # ------------------------------------------------------------------
+
+    def prepare(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> ContentionDeltaState:
+        """Fully evaluate a valid string and snapshot per-position state.
+
+        Raises
+        ------
+        InvalidScheduleError
+            If *order* places a consumer before one of its producers.
+        """
+        E = self._E
+        tr = self._tr
+        l = self._l
+        k = self._k
+        in_edges = self._in_edges
+        out_edges = self._out_edges
+
+        start = [0.0] * k
+        finish = [-1.0] * k
+        machine_avail = [0.0] * l
+        nic_free = [0.0] * l
+        arrival = [0.0] * self._p
+        avail_rows: list[list[float]] = [machine_avail.copy()]
+        nic_rows: list[list[float]] = [nic_free.copy()]
+        span_prefix = [0.0]
+        span = 0.0
+
+        for task in order:
+            m = machine_of[task]
+            ready = machine_avail[m]
+            for prod, item in in_edges[task]:
+                pf = finish[prod]
+                if pf < 0.0:
+                    raise InvalidScheduleError(
+                        f"subtask {task} scheduled before its producer {prod}"
+                    )
+                t_arr = pf if machine_of[prod] == m else arrival[item]
+                if t_arr > ready:
+                    ready = t_arr
+            fin = ready + E[m][task]
+            start[task] = ready
+            finish[task] = fin
+            machine_avail[m] = fin
+            if fin > span:
+                span = fin
+            nf = nic_free[m]
+            for item, consumer in out_edges[task]:
+                dst = machine_of[consumer]
+                if dst == m:
+                    continue
+                if dst < m:
+                    row = dst * l - dst * (dst + 1) // 2 + (m - dst - 1)
+                else:
+                    row = m * l - m * (m + 1) // 2 + (dst - m - 1)
+                t_start = fin if fin > nf else nf
+                nf = t_start + tr[row][item]
+                arrival[item] = nf
+            nic_free[m] = nf
+            avail_rows.append(machine_avail.copy())
+            nic_rows.append(nic_free.copy())
+            span_prefix.append(span)
+
+        pos_of = [0] * k
+        for q, t in enumerate(order):
+            pos_of[t] = q
+        producer_floor = [k] * k
+        for t in range(k):
+            for prod, _item in in_edges[t]:
+                q = pos_of[prod]
+                if q < producer_floor[t]:
+                    producer_floor[t] = q
+
+        return ContentionDeltaState(
+            order=list(order),
+            machine_of=list(machine_of),
+            start=start,
+            finish=finish,
+            arrival=arrival,
+            avail_rows=avail_rows,
+            nic_rows=nic_rows,
+            span_prefix=span_prefix,
+            producer_floor=producer_floor,
+            makespan=span,
+        )
+
+    def prepare_string(self, string: ScheduleString) -> ContentionDeltaState:
+        """:meth:`prepare` for a :class:`ScheduleString` (thin convenience)."""
+        return self.prepare(string.order, string.machines)
+
+    def evaluate_delta(
+        self,
+        order: Sequence[int],
+        machine_of: Sequence[int],
+        first_changed: int,
+        state: ContentionDeltaState,
+        cutoff: float = float("inf"),
+        region_end: Optional[int] = None,
+    ) -> float:
+        """Makespan of a perturbed string, recomputed suffix-only.
+
+        Preconditions (NOT checked — this is the innermost hot path):
+
+        * ``order`` is a valid (dependency-respecting) permutation;
+        * positions ``0..first_changed-1`` hold the same subtasks as
+          ``state``'s base string, and those subtasks keep the machine
+          assignments they had when :meth:`prepare` ran.
+
+        The result is bit-identical to a full :meth:`makespan` call on
+        the same string — a property enforced by
+        ``tests/properties/test_contention_backend_properties.py``.
+
+        Unlike the contention-free model, reassigning a *suffix* subtask
+        to a new machine changes which of its inputs cross machines and
+        how long each transfer occupies the **producer's** NIC — and the
+        producer may sit in the untouched prefix.  The walk therefore
+        restarts at ``min(first_changed, producer_floor[t])`` over every
+        task ``t`` whose machine differs from the base assignment; every
+        position before that point is provably identical to the base run
+        (its tasks' pushes involve no reassigned consumer), so the
+        snapshots stay valid.
+
+        ``cutoff`` enables branch-and-bound pruning exactly as in
+        :meth:`repro.schedule.simulator.Simulator.evaluate_delta`: the
+        running span only grows, so once it reaches *cutoff* the walk
+        aborts and returns ``inf``.
+
+        ``region_end`` is accepted for call-site parity with the
+        contention-free backend but unused: the rejoin early-exit is
+        unsound here because equal machine-availability and NIC vectors
+        do not imply equal in-flight arrival times.
+        """
+        k = self._k
+        f = first_changed
+        if f < 0:
+            f = 0
+        base_machines = state.machine_of
+        if f < k:
+            # Machine reassignments can dirty prefix producers' NICs;
+            # restart early enough to replay every affected push.
+            floor = state.producer_floor
+            eff = f
+            for t in range(k):
+                if machine_of[t] != base_machines[t]:
+                    fl = floor[t]
+                    if fl < eff:
+                        eff = fl
+            f = eff
+        else:
+            return state.makespan if state.makespan < cutoff else float("inf")
+
+        E = self._E
+        tr = self._tr
+        l = self._l
+        in_edges = self._in_edges
+        out_edges = self._out_edges
+        finish = state.finish[:]
+        arrival = state.arrival[:]
+        machine_avail = state.avail_rows[f][:]
+        nic_free = state.nic_rows[f][:]
+        span = state.span_prefix[f]
+        if span >= cutoff:
+            return float("inf")
+
+        for q in range(f, k):
+            task = order[q]
+            m = machine_of[task]
+            ready = machine_avail[m]
+            for prod, item in in_edges[task]:
+                t_arr = (
+                    finish[prod] if machine_of[prod] == m else arrival[item]
+                )
+                if t_arr > ready:
+                    ready = t_arr
+            fin = ready + E[m][task]
+            finish[task] = fin
+            machine_avail[m] = fin
+            if fin > span:
+                span = fin
+                if span >= cutoff:
+                    return float("inf")
+            nf = nic_free[m]
+            for item, consumer in out_edges[task]:
+                dst = machine_of[consumer]
+                if dst == m:
+                    continue
+                if dst < m:
+                    row = dst * l - dst * (dst + 1) // 2 + (m - dst - 1)
+                else:
+                    row = m * l - m * (m + 1) // 2 + (dst - m - 1)
+                t_start = fin if fin > nf else nf
+                nf = t_start + tr[row][item]
+                arrival[item] = nf
+            nic_free[m] = nf
+        return span
+
+
+register_network("nic")(ContentionSimulator)
 
 
 def contention_penalty(workload: Workload, string: ScheduleString) -> float:

@@ -37,7 +37,9 @@ def heft_seeded_se(
     cfg = config or SEConfig()
     if cfg.selection_bias is None:
         cfg = replace(cfg, selection_bias=-0.1)
-    seed_string = heft(workload).string
+    # Seed with HEFT run under the same network model SE will optimise,
+    # so the warm start is warm for the actual objective.
+    seed_string = heft(workload, network=cfg.network).string
     return SimulatedEvolution(cfg).run(workload, initial=seed_string)
 
 
@@ -54,7 +56,7 @@ def heft_seeded_ga(
         raise ValueError(
             "heft_seeded_ga needs elite_count >= 1 to preserve the seed"
         )
-    res = heft(workload)
+    res = heft(workload, network=cfg.network)
     seed_chrom = Chromosome(
         matching=list(res.string.machines),
         scheduling=list(res.string.order),

@@ -38,6 +38,7 @@ from repro.runner.results import (
     ExperimentResult,
 )
 from repro.runner.spec import ExperimentCell, ExperimentSpec
+from repro.schedule.backend import DEFAULT_NETWORK
 from repro.schedule.metrics import normalized_makespan
 from repro.workloads.presets import build_workload
 
@@ -52,9 +53,12 @@ def run_cell(cell: ExperimentCell) -> CellResult:
     fn = resolve_algorithm(cell.algo.kind)
     params = cell.algo.params_dict()
     # record the seed the algorithm actually uses: an explicit params
-    # seed overrides the derived per-cell seed (see registry._seed_of)
+    # seed overrides the derived per-cell seed (see registry._seed_of);
+    # bool is an int subclass, so seed=True must not be recorded as 1
     effective_seed = params.get("seed", cell.seed)
-    if not isinstance(effective_seed, int):
+    if not isinstance(effective_seed, int) or isinstance(
+        effective_seed, bool
+    ):
         effective_seed = cell.seed
     t0 = time.perf_counter()
     outcome = fn(workload, cell.seed, params)
@@ -70,6 +74,7 @@ def run_cell(cell: ExperimentCell) -> CellResult:
         num_tasks=workload.num_tasks,
         num_machines=workload.num_machines,
         seed=effective_seed,
+        network=str(params.get("network", DEFAULT_NETWORK)),
         makespan=float(outcome.makespan),
         normalized=normalized_makespan(workload, float(outcome.makespan)),
         evaluations=outcome.evaluations,
@@ -122,11 +127,23 @@ def _load_cached(path: Path) -> Optional[CellResult]:
         return None
 
 
+def _tmp_path(path: Path) -> Path:
+    """A per-process scratch sibling of *path*.
+
+    Several runner processes may share one ``cache_dir`` (parallel
+    shards, or two sweeps resuming the same cache); a fixed ``.tmp``
+    name would let them scribble over each other's half-written files
+    mid-flight.  The pid suffix keeps writers disjoint; the final
+    ``replace`` stays atomic either way.
+    """
+    return path.with_name(f"{path.name}.{os.getpid()}.tmp")
+
+
 def _store_cached(path: Path, result: CellResult) -> None:
     payload = json.dumps(
         {"version": RESULT_SCHEMA_VERSION, "cell": result.to_dict()}
     )
-    tmp = path.with_suffix(".tmp")
+    tmp = _tmp_path(path)
     tmp.write_text(payload)
     tmp.replace(path)  # atomic: a crash never leaves a torn cache entry
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.model.workload import Workload
+from repro.schedule.backend import DEFAULT_NETWORK
 
 
 @dataclass
@@ -157,6 +158,11 @@ def _deterministic(fn_name: str):
     def run(workload: Workload, seed: int, params: dict) -> CellOutcome:
         import repro.baselines as baselines
 
+        # Deterministic heuristics take no seed; a spec may still pin one
+        # (e.g. a grid sharing params across algorithms) — strip it
+        # instead of crashing the worker with an unexpected kwarg.
+        params = dict(params)
+        params.pop("seed", None)
         res = getattr(baselines, fn_name)(workload, **params)
         return CellOutcome(
             makespan=res.makespan,
@@ -180,7 +186,10 @@ def _run_random(workload: Workload, seed: int, params: dict) -> CellOutcome:
     params = dict(params)
     seed = _seed_of(seed, params)
     res = random_search(
-        workload, samples=params.get("samples", 1000), seed=seed
+        workload,
+        samples=params.get("samples", 1000),
+        seed=seed,
+        network=params.get("network", DEFAULT_NETWORK),
     )
     return CellOutcome(
         makespan=res.makespan,

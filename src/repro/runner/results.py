@@ -13,6 +13,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
+from repro.schedule.backend import DEFAULT_NETWORK
+
 if TYPE_CHECKING:  # deferred at runtime: analysis.grid imports the runner
     from repro.analysis.trace import ConvergenceTrace
 
@@ -43,6 +45,7 @@ class CellResult:
     seed: int
     makespan: float
     normalized: float
+    network: str = DEFAULT_NETWORK
     evaluations: int = 0
     iterations: int = 0
     stopped_by: str = ""
@@ -81,6 +84,7 @@ _CSV_FIELDS = [
     "seed",
     "makespan",
     "normalized",
+    "network",
     "evaluations",
     "iterations",
     "stopped_by",

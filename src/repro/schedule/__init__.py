@@ -4,12 +4,23 @@
   string (§4.1);
 * :mod:`~repro.schedule.valid_range` — dependency-safe moving windows;
 * :class:`Simulator` — the deterministic cost model (string → makespan);
+* :mod:`~repro.schedule.backend` — pluggable simulator backends keyed
+  by network-model name (``"contention-free"`` | ``"nic"`` | custom);
 * :class:`Timeline` / :func:`verify_schedule` — Gantt views and full
   constraint checking;
 * :mod:`~repro.schedule.metrics` — SLR, speedup, utilisation, comm volume;
 * :mod:`~repro.schedule.operations` — validity-preserving random moves.
 """
 
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    NIC_NETWORK,
+    SimulatorBackend,
+    available_networks,
+    make_simulator,
+    plain_schedule,
+    register_network,
+)
 from repro.schedule.encoding import (
     ScheduleString,
     is_valid_for,
@@ -48,6 +59,13 @@ from repro.schedule.valid_range import (
 )
 
 __all__ = [
+    "DEFAULT_NETWORK",
+    "NIC_NETWORK",
+    "SimulatorBackend",
+    "available_networks",
+    "make_simulator",
+    "plain_schedule",
+    "register_network",
     "ScheduleString",
     "is_valid_for",
     "topological_string",

@@ -1,0 +1,168 @@
+"""Pluggable simulator backends: one cost model per network assumption.
+
+The paper's model (and :class:`~repro.schedule.simulator.Simulator`)
+assumes a fully connected, contention-free network.  Realistic models —
+starting with the one-NIC-per-machine serialisation of
+:class:`~repro.extensions.contention.ContentionSimulator` — change the
+cost of the *same* schedule string, and therefore change what the
+optimisers should optimise.  This module makes the choice a first-class,
+string-keyed parameter:
+
+* :class:`SimulatorBackend` — the structural protocol every backend
+  implements: ``makespan`` / ``evaluate`` plus the incremental tier
+  (``prepare`` → delta state → ``evaluate_delta``) that the SE allocator
+  and the GA offspring loop run on;
+* :func:`make_simulator` — ``(workload, network)`` → backend instance;
+* :func:`register_network` — downstream code can plug in its own model
+  (registration must happen at import time of a module the runner's
+  worker processes also import, exactly like algorithm registration).
+
+Because the selector is a plain string, it travels everywhere the
+algorithms do: ``SEConfig(network="nic")``, ``GAConfig(network="nic")``,
+``heft(w, network="nic")``, ``AlgorithmSpec.make("se", network="nic")``,
+``repro sweep --network nic``.
+
+>>> from repro.schedule.backend import available_networks, make_simulator
+>>> available_networks()
+['contention-free', 'nic']
+>>> from repro.workloads import small_workload
+>>> w = small_workload(seed=1)
+>>> type(make_simulator(w, "contention-free")).__name__
+'Simulator'
+>>> type(make_simulator(w, "nic")).__name__
+'ContentionSimulator'
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.model.workload import Workload
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.simulator import Schedule, Simulator
+
+#: The paper's model; the default everywhere a ``network`` is accepted.
+DEFAULT_NETWORK = "contention-free"
+
+#: The built-in NIC-serialisation model (see ``repro.extensions.contention``).
+NIC_NETWORK = "nic"
+
+
+@runtime_checkable
+class SimulatorBackend(Protocol):
+    """What every schedule-cost backend must offer.
+
+    The contract mirrors :class:`~repro.schedule.simulator.Simulator`:
+
+    * ``makespan`` / ``string_makespan`` — scalar cost of a string;
+    * ``evaluate`` — full evaluation; the result must expose ``makespan``
+      and per-task ``start`` / ``finish`` / ``order`` / ``machine_of``
+      (richer backends may return a wrapper, e.g.
+      :class:`~repro.extensions.contention.ContentionSchedule`);
+    * ``prepare`` / ``evaluate_delta`` — the incremental tier: a
+      per-position snapshot of the evaluation state such that a string
+      sharing a prefix with the base can be re-scored suffix-only, with
+      ``cutoff`` branch-and-bound pruning.  ``evaluate_delta`` results
+      must be **bit-identical** to a full ``makespan`` call on the same
+      string (property-tested for both built-in backends);
+    * ``finish_times`` — per-subtask finish times (SE's ``Ci`` input).
+
+    The delta state is backend-specific; callers treat it as opaque
+    apart from ``makespan`` / ``pos_of`` / ``as_schedule()``.
+    """
+
+    @property
+    def workload(self) -> Workload: ...
+
+    def makespan(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> float: ...
+
+    def string_makespan(self, string: ScheduleString) -> float: ...
+
+    def evaluate(self, string: ScheduleString) -> Any: ...
+
+    def prepare(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> Any: ...
+
+    def evaluate_delta(
+        self,
+        order: Sequence[int],
+        machine_of: Sequence[int],
+        first_changed: int,
+        state: Any,
+        cutoff: float = float("inf"),
+        region_end: Optional[int] = None,
+    ) -> float: ...
+
+    def finish_times(self, string: ScheduleString) -> list[float]: ...
+
+
+#: A backend factory: workload -> backend instance.
+BackendFactory = Callable[[Workload], SimulatorBackend]
+
+_NETWORKS: Dict[str, BackendFactory] = {DEFAULT_NETWORK: Simulator}
+
+
+def register_network(name: str):
+    """Decorator registering a backend factory under *name* (unique)."""
+
+    def deco(factory: BackendFactory) -> BackendFactory:
+        key = name.lower()
+        if key in _NETWORKS:
+            raise ValueError(f"network model {key!r} already registered")
+        _NETWORKS[key] = factory
+        return factory
+
+    return deco
+
+
+def _ensure_builtins() -> None:
+    # The NIC backend lives one layer up (repro.extensions.contention) and
+    # registers itself at import; import it lazily so repro.schedule keeps
+    # no import-time dependency on the extension layer.
+    if NIC_NETWORK not in _NETWORKS:
+        import repro.extensions.contention  # noqa: F401  (registers "nic")
+
+
+def available_networks() -> list[str]:
+    """All registered network-model names, sorted."""
+    _ensure_builtins()
+    return sorted(_NETWORKS)
+
+
+def make_simulator(
+    workload: Workload, network: str = DEFAULT_NETWORK
+) -> SimulatorBackend:
+    """A simulator backend for *workload* under the *network* model.
+
+    Raises
+    ------
+    ValueError
+        If *network* names no registered backend.
+    """
+    _ensure_builtins()
+    try:
+        factory = _NETWORKS[network.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown network model {network!r}; available: "
+            f"{', '.join(available_networks())}"
+        ) from None
+    return factory(workload)
+
+
+def plain_schedule(evaluated: Any) -> Schedule:
+    """The plain :class:`Schedule` inside a backend's ``evaluate`` result.
+
+    ``Simulator.evaluate`` already returns one; wrapper results (e.g.
+    ``ContentionSchedule``) are unwrapped via their ``schedule``
+    attribute.
+    """
+    inner = getattr(evaluated, "schedule", evaluated)
+    if not isinstance(inner, Schedule):
+        raise TypeError(
+            f"cannot extract a Schedule from {type(evaluated).__name__}"
+        )
+    return inner

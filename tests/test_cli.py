@@ -57,6 +57,20 @@ class TestRun:
         assert rc == 0
         assert "makespan" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("algo", ["se", "heft"])
+    def test_nic_network_run(self, algo, capsys):
+        rc = main(
+            ["run", "--algo", algo, "--preset", "small", "--seed", "1",
+             "--iterations", "5", "--network", "nic"]
+        )
+        assert rc == 0
+        assert "makespan (nic)" in capsys.readouterr().out
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algo", "se", "--preset", "small",
+                  "--network", "token-ring"])
+
     def test_random_run(self, capsys):
         rc = main(
             ["run", "--algo", "random", "--preset", "small", "--seed", "1",
@@ -137,6 +151,30 @@ class TestSweep:
         assert (tmp_path / "t.json").exists()
         assert (tmp_path / "t.csv").exists()
         assert list((tmp_path / "cache").glob("*.json"))
+
+    def test_sweep_under_nic_records_network(self, tmp_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--name", "nic-sweep",
+                "--algos", "heft,olb",
+                "--tasks", "10",
+                "--machines", "2",
+                "--connectivities", "low",
+                "--heterogeneities", "low",
+                "--ccrs", "0.5",
+                "--network", "nic",
+                "--quiet",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        import json
+
+        doc = json.loads((tmp_path / "nic-sweep.json").read_text())
+        assert {c["network"] for c in doc["cells"]} == {"nic"}
+        csv_text = (tmp_path / "nic-sweep.csv").read_text()
+        assert "network" in csv_text.splitlines()[0]
 
     def test_sweep_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit, match="unknown algorithms"):
