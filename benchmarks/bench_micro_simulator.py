@@ -105,7 +105,7 @@ def _se_probe_groups(workload, string, rng, tasks=30, y=12):
     return groups
 
 
-def test_micro_se_inner_loop_full_vs_delta(write_output):
+def test_micro_se_inner_loop_full_vs_delta(write_output, perf_log):
     """MICRO-DELTA: the PR's headline speedup, measured honestly.
 
     Replays identical probe streams through both evaluation strategies,
@@ -166,6 +166,13 @@ def test_micro_se_inner_loop_full_vs_delta(write_output):
     t_delta = best_time(delta_pass)
     speedup = t_full / t_delta
 
+    perf_log("MICRO-DELTA", "speedup", round(speedup, 3), "x")
+    perf_log(
+        "MICRO-DELTA",
+        "delta_per_probe",
+        round(t_delta / n_probes * 1e6, 2),
+        "us",
+    )
     write_output(
         "micro_se_inner_loop_delta",
         "MICRO-DELTA — SE inner-loop evaluation: full vs incremental\n\n"
@@ -216,7 +223,7 @@ def test_micro_contention_evaluate_delta_100x20(benchmark):
     assert result == state.makespan  # unchanged string -> identical value
 
 
-def test_micro_contention_inner_loop_full_vs_delta(write_output):
+def test_micro_contention_inner_loop_full_vs_delta(write_output, perf_log):
     """MICRO-CONT-DELTA: the SE probe stream under the NIC backend.
 
     Same structure as MICRO-DELTA: identical probe streams through full
@@ -280,6 +287,7 @@ def test_micro_contention_inner_loop_full_vs_delta(write_output):
     t_delta = best_time(delta_pass)
     speedup = t_full / t_delta
 
+    perf_log("MICRO-CONT-DELTA", "speedup", round(speedup, 3), "x")
     write_output(
         "micro_contention_inner_loop_delta",
         "MICRO-CONT-DELTA — SE inner loop under NIC contention: "

@@ -5,6 +5,11 @@ Every benchmark writes its regenerated figure (ASCII chart + series data
 can reference concrete artifacts.  Benchmarks assert only *loose* shape
 invariants — single-seed stochastic runs must not flake the suite — and
 record the strict paper-shape verdicts in their output files.
+
+Micro-benchmarks additionally serialize their headline numbers through
+the ``perf_log`` fixture into ``benchmarks/output/BENCH_micro.json``
+(schema: :mod:`repro.perf`), the artifact CI's ``perf`` job gates
+against the committed ``benchmarks/baseline/BENCH_micro.json``.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from pathlib import Path
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+BENCH_MICRO_JSON = OUTPUT_DIR / "BENCH_micro.json"
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +38,22 @@ def write_output(output_dir):
         return path
 
     return write
+
+
+@pytest.fixture
+def perf_log(output_dir):
+    """Recorder fixture: ``perf_log("MICRO-BATCH-GA", "speedup", 3.4, "x")``.
+
+    Merge-writes one record into ``BENCH_micro.json`` (replacing any
+    previous value of the same (bench, metric) pair), so each
+    micro-benchmark test contributes its slice independently.
+    """
+    from repro import perf
+
+    def log(bench: str, metric: str, value: float, unit: str) -> Path:
+        return perf.record_results(
+            output_dir / "BENCH_micro.json",
+            [perf.make_record(bench, metric, value, unit)],
+        )
+
+    return log

@@ -11,7 +11,7 @@ Run:  python examples/y_parameter_study.py [--iterations N]
 
 import argparse
 
-from repro.analysis import Series, line_plot, summarize
+from repro.analysis import Series, line_plot
 from repro.core import SEConfig, run_se
 from repro.workloads import figure4a_workload, figure4b_workload
 

@@ -29,7 +29,9 @@ setup(
         "dev": [
             "pytest>=7",
             "pytest-benchmark>=4",
+            "pytest-cov>=4",
             "hypothesis>=6",
+            "ruff>=0.4",
         ],
     },
     entry_points={

@@ -10,7 +10,7 @@ any number of trace-producing runners.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
 from repro.analysis.trace import ConvergenceTrace

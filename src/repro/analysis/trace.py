@@ -9,7 +9,7 @@ Figs. 3b/4, best-so-far vs wall time for Figs. 5-7).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 

@@ -17,7 +17,6 @@ apples-to-apples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

@@ -52,6 +52,18 @@ class GAConfig:
         slightly more simulator calls).  The switch exists for
         benchmarking and for the equivalence test in
         ``tests/baselines/test_ga.py``.
+    batch_fitness:
+        Score each generation's unevaluated chromosomes in one
+        vectorized sweep through the network's batch kernel
+        (:class:`~repro.schedule.vectorized.BatchSimulator`) when the
+        backend has one registered; networks without a kernel (e.g.
+        ``"nic"``) silently keep the scalar/incremental path.  Costs are
+        bit-identical to the scalar loop, so results, traces and final
+        strings do not change — only wall-clock time and, versus the
+        incremental path, the ``evaluations`` accounting (the batch
+        path reports exactly one call per chromosome, like the plain
+        scalar loop).  When active it supersedes
+        ``incremental_evaluation``.
     network:
         Simulator backend name the run optimises against (extension
         beyond Wang et al.): ``"contention-free"`` (default) or
@@ -68,6 +80,7 @@ class GAConfig:
     time_limit: Optional[float] = None
     stall_generations: Optional[int] = 150
     incremental_evaluation: bool = True
+    batch_fitness: bool = True
     network: str = DEFAULT_NETWORK
     seed: RandomSource = None
 

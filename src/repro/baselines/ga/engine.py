@@ -10,15 +10,24 @@ The engine emits the same :class:`~repro.analysis.trace.ConvergenceTrace`
 records as the SE engine, so the comparison harness and the figure
 benchmarks treat both uniformly.
 
-Offspring evaluation is incremental where it pays: a child produced by
-crossover/mutation keeps its "first" parent's string prefix up to the
-first divergence position, so children are grouped by parent and scored
-with :meth:`~repro.schedule.simulator.Simulator.evaluate_delta` against
-one prepared parent state.  Since a prepare costs about one full
-evaluation and crossover children diverge near the middle of the
-string, the delta path is taken only for parents with three or more
-unevaluated children; costs are bit-identical either way (see
-``GAConfig.incremental_evaluation``).
+Offspring evaluation has two accelerated paths, both bit-identical to
+the plain scalar loop:
+
+* **batch** (default on backends with a vectorized kernel, i.e. the
+  contention-free model): every unevaluated chromosome of a generation
+  is scored in one :meth:`BatchBackend.batch_makespans
+  <repro.schedule.vectorized.BatchBackend.batch_makespans>` sweep — the
+  whole population advances through the NumPy kernel together (see
+  ``GAConfig.batch_fitness``);
+* **incremental** (the fallback, e.g. under the ``"nic"`` backend): a
+  child produced by crossover/mutation keeps its "first" parent's
+  string prefix up to the first divergence position, so children are
+  grouped by parent and scored with
+  :meth:`~repro.schedule.simulator.Simulator.evaluate_delta` against
+  one prepared parent state.  Since a prepare costs about one full
+  evaluation and crossover children diverge near the middle of the
+  string, the delta path is taken only for parents with three or more
+  unevaluated children (see ``GAConfig.incremental_evaluation``).
 """
 
 from __future__ import annotations
@@ -113,8 +122,11 @@ class GeneticAlgorithm:
         graph = workload.graph
         l = workload.num_machines
         # Fitness comes from the configured backend, so "nic" makes the
-        # whole evolution optimise under NIC contention.
-        sim = make_simulator(workload, cfg.network)
+        # whole evolution optimise under NIC contention.  With
+        # batch_fitness the backend is wrapped with its batch kernel;
+        # only a genuinely vectorized kernel replaces the scalar paths.
+        sim = make_simulator(workload, cfg.network, batch=cfg.batch_fitness)
+        use_batch = cfg.batch_fitness and getattr(sim, "is_vectorized", False)
         evaluations = 0
 
         population = [c.copy() for c in (initial or [])][: cfg.population_size]
@@ -133,10 +145,23 @@ class GeneticAlgorithm:
 
             ``parents[i]``, when given, is a chromosome whose string
             shares a prefix with ``pop[i]`` (its crossover/copy source).
-            Children are grouped by parent; a parent with >= 3 pending
-            children is prepared once and its children scored by
-            suffix-only re-evaluation — bit-identical to the full path.
+            On a vectorized backend all pending chromosomes are scored
+            in one batch-kernel sweep.  Otherwise children are grouped
+            by parent; a parent with >= 3 pending children is prepared
+            once and its children scored by suffix-only re-evaluation.
+            Both paths are bit-identical to the plain scalar loop.
             """
+            if use_batch:
+                pending = [c for c in pop if c.cost is None]
+                if not pending:
+                    return 0
+                costs = sim.batch_makespans(
+                    [c.scheduling for c in pending],
+                    [c.matching for c in pending],
+                )
+                for c, cost in zip(pending, costs.tolist()):
+                    c.cost = cost
+                return len(pending)
             calls = 0
             groups: dict[int, list[Chromosome]] = {}
             by_parent: dict[int, Chromosome] = {}

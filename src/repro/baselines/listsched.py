@@ -18,7 +18,7 @@ Supported priorities:
 
 from __future__ import annotations
 
-from typing import Callable, Literal
+from typing import Literal
 
 import numpy as np
 

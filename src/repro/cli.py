@@ -14,6 +14,10 @@ Subcommands
   every algorithm against the NIC-contention backend.
 * ``export``    — write artifacts to disk: the workload as JSON, its DAG
   as Graphviz DOT, and an SE schedule as JSON + SVG Gantt chart.
+* ``perf``      — performance tracking: ``perf check`` gates a fresh
+  ``BENCH_micro.json`` against the committed baseline (non-zero exit on
+  regression — this is CI's perf job); ``perf show`` pretty-prints a
+  BENCH file.
 
 Examples::
 
@@ -308,6 +312,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    from repro import perf
+
+    try:
+        comparison = perf.check_files(
+            args.current, args.baseline, tolerance=args.tolerance
+        )
+    except FileNotFoundError as exc:
+        raise SystemExit(f"perf check: missing BENCH file: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"perf check: {exc}")
+    print(comparison.describe())
+    return 0 if comparison.ok else 1
+
+
+def _cmd_perf_show(args: argparse.Namespace) -> int:
+    from repro import perf
+
+    try:
+        records = perf.load_records(args.file)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"perf show: missing BENCH file: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"perf show: {exc}")
+    for r in sorted(records, key=lambda r: r.key):
+        print(
+            f"{r.bench:28s} {r.metric:18s} {r.value:>12.4g} {r.unit:4s} "
+            f"[commit {r.commit}, python {r.python}]"
+        )
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -433,6 +469,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--iterations", type=int, default=150)
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("perf", help="performance tracking utilities")
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+    pc = perf_sub.add_parser(
+        "check",
+        help="gate a fresh BENCH file against the committed baseline",
+    )
+    pc.add_argument(
+        "--current",
+        default="benchmarks/output/BENCH_micro.json",
+        help="freshly generated BENCH JSON",
+    )
+    pc.add_argument(
+        "--baseline",
+        default="benchmarks/baseline/BENCH_micro.json",
+        help="committed baseline BENCH JSON",
+    )
+    pc.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="relative tolerance before a change counts as a regression",
+    )
+    pc.set_defaults(func=_cmd_perf_check)
+    ps = perf_sub.add_parser("show", help="pretty-print a BENCH JSON file")
+    ps.add_argument(
+        "file",
+        nargs="?",
+        default="benchmarks/output/BENCH_micro.json",
+        help="BENCH JSON to print",
+    )
+    ps.set_defaults(func=_cmd_perf_show)
 
     p = sub.add_parser("figure", help="regenerate a paper figure (ASCII)")
     p.add_argument("id", choices=["3a", "3b", "4a", "4b", "5", "6", "7"])

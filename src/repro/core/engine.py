@@ -108,13 +108,21 @@ class SimulatedEvolution:
         rng = as_rng(cfg.seed)
         graph = workload.graph
         # The backend is the objective: "nic" makes every probe, commit
-        # and best-makespan account for NIC serialisation.
-        sim = make_simulator(workload, cfg.network)
+        # and best-makespan account for NIC serialisation.  With
+        # probe_evaluation="batch" it is wrapped with its batch kernel so
+        # allocation can score candidate sets in vectorized sweeps.
+        sim = make_simulator(
+            workload, cfg.network, batch=cfg.probe_evaluation == "batch"
+        )
         goodness = GoodnessEvaluator(workload)
         bias = cfg.resolved_bias(graph.num_tasks)
         y = cfg.resolved_y(workload.num_machines)
         allocator = Allocator(
-            workload, sim, y_candidates=y, slots=cfg.allocation_slots
+            workload,
+            sim,
+            y_candidates=y,
+            slots=cfg.allocation_slots,
+            probes=cfg.probe_evaluation,
         )
 
         if initial is None:

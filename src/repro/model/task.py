@@ -12,7 +12,6 @@ own transfer-time column in ``Tr``.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 @dataclass(frozen=True, order=True)

@@ -10,7 +10,7 @@ queries the schedule simulator needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.model.graph import TaskGraph

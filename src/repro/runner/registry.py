@@ -190,6 +190,7 @@ def _run_random(workload: Workload, seed: int, params: dict) -> CellOutcome:
         samples=params.get("samples", 1000),
         seed=seed,
         network=params.get("network", DEFAULT_NETWORK),
+        batch_size=params.get("batch_size", 128),
     )
     return CellOutcome(
         makespan=res.makespan,

@@ -6,6 +6,8 @@
 * :class:`Simulator` — the deterministic cost model (string → makespan);
 * :mod:`~repro.schedule.backend` — pluggable simulator backends keyed
   by network-model name (``"contention-free"`` | ``"nic"`` | custom);
+* :class:`BatchSimulator` / :class:`BatchBackend` — the vectorized
+  batch-evaluation tier (``make_simulator(..., batch=True)``);
 * :class:`Timeline` / :func:`verify_schedule` — Gantt views and full
   constraint checking;
 * :mod:`~repro.schedule.metrics` — SLR, speedup, utilisation, comm volume;
@@ -19,6 +21,7 @@ from repro.schedule.backend import (
     available_networks,
     make_simulator,
     plain_schedule,
+    register_batch_network,
     register_network,
 )
 from repro.schedule.encoding import (
@@ -51,6 +54,11 @@ from repro.schedule.simulator import (
     evaluate_schedule,
 )
 from repro.schedule.timeline import MachineSpan, Timeline, verify_schedule
+from repro.schedule.vectorized import (
+    BatchBackend,
+    BatchSimulator,
+    SequentialBatchKernel,
+)
 from repro.schedule.valid_range import (
     assert_in_valid_range,
     machine_slot_indices,
@@ -65,7 +73,11 @@ __all__ = [
     "available_networks",
     "make_simulator",
     "plain_schedule",
+    "register_batch_network",
     "register_network",
+    "BatchBackend",
+    "BatchSimulator",
+    "SequentialBatchKernel",
     "ScheduleString",
     "is_valid_for",
     "topological_string",

@@ -104,6 +104,9 @@ BackendFactory = Callable[[Workload], SimulatorBackend]
 
 _NETWORKS: Dict[str, BackendFactory] = {DEFAULT_NETWORK: Simulator}
 
+#: Batch-kernel factories keyed by network name (see ``vectorized.py``).
+_BATCH_NETWORKS: Dict[str, Callable[[Workload], Any]] = {}
+
 
 def register_network(name: str):
     """Decorator registering a backend factory under *name* (unique)."""
@@ -118,12 +121,38 @@ def register_network(name: str):
     return deco
 
 
+def register_batch_network(name: str):
+    """Decorator registering a *batch kernel* factory under *name*.
+
+    A batch kernel offers ``makespans(orders, machines)`` /
+    ``string_makespans(strings)`` returning one float per schedule,
+    bit-identical to the network's scalar backend, plus an
+    ``is_vectorized`` flag.  Networks without a registered kernel fall
+    back to a sequential loop over their scalar backend when callers
+    request ``make_simulator(..., batch=True)``.
+    """
+
+    def deco(factory):
+        key = name.lower()
+        if key in _BATCH_NETWORKS:
+            raise ValueError(
+                f"batch kernel for network {key!r} already registered"
+            )
+        _BATCH_NETWORKS[key] = factory
+        return factory
+
+    return deco
+
+
 def _ensure_builtins() -> None:
     # The NIC backend lives one layer up (repro.extensions.contention) and
     # registers itself at import; import it lazily so repro.schedule keeps
-    # no import-time dependency on the extension layer.
+    # no import-time dependency on the extension layer.  The vectorized
+    # batch kernel registers the "contention-free" fast path the same way.
     if NIC_NETWORK not in _NETWORKS:
         import repro.extensions.contention  # noqa: F401  (registers "nic")
+    if DEFAULT_NETWORK not in _BATCH_NETWORKS:
+        import repro.schedule.vectorized  # noqa: F401
 
 
 def available_networks() -> list[str]:
@@ -133,9 +162,21 @@ def available_networks() -> list[str]:
 
 
 def make_simulator(
-    workload: Workload, network: str = DEFAULT_NETWORK
+    workload: Workload,
+    network: str = DEFAULT_NETWORK,
+    batch: bool = False,
 ) -> SimulatorBackend:
     """A simulator backend for *workload* under the *network* model.
+
+    With ``batch=True`` the scalar backend is wrapped in a
+    :class:`~repro.schedule.vectorized.BatchBackend` that additionally
+    offers ``batch_makespans(orders, machines)`` /
+    ``batch_string_makespans(strings)``: the NumPy
+    :class:`~repro.schedule.vectorized.BatchSimulator` kernel for
+    networks that registered one (``"contention-free"``), a sequential
+    scalar fallback otherwise (``"nic"``).  Scalar-tier methods are
+    forwarded without overhead either way, so a batch-wrapped backend is
+    a drop-in :class:`SimulatorBackend`.
 
     Raises
     ------
@@ -143,14 +184,25 @@ def make_simulator(
         If *network* names no registered backend.
     """
     _ensure_builtins()
+    key = network.lower()
     try:
-        factory = _NETWORKS[network.lower()]
+        factory = _NETWORKS[key]
     except KeyError:
         raise ValueError(
             f"unknown network model {network!r}; available: "
             f"{', '.join(available_networks())}"
         ) from None
-    return factory(workload)
+    scalar = factory(workload)
+    if not batch:
+        return scalar
+    from repro.schedule.vectorized import BatchBackend, SequentialBatchKernel
+
+    kernel_factory = _BATCH_NETWORKS.get(key)
+    if kernel_factory is None:
+        kernel = SequentialBatchKernel(scalar)
+    else:
+        kernel = kernel_factory(workload)
+    return BatchBackend(scalar, kernel)
 
 
 def plain_schedule(evaluated: Any) -> Schedule:

@@ -40,7 +40,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.model.graph import TaskGraph
 from repro.model.workload import Workload
 from repro.schedule.encoding import ScheduleString
 

@@ -10,7 +10,6 @@ produced by every algorithm in the library.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.model.workload import Workload
 from repro.schedule.simulator import Schedule

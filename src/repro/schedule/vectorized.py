@@ -1,0 +1,515 @@
+"""Vectorized batch evaluation: score many schedules in NumPy sweeps.
+
+Every search algorithm in the library asks the same question many times
+per iteration: *what is the makespan of this candidate string?*  The GA
+scores a whole population per generation, random search scores a stream
+of independent samples, and the SE allocation step scores every
+(machine, slot) probe of a selected subtask.  The scalar
+:class:`~repro.schedule.simulator.Simulator` answers one string at a
+time in a Python loop; :class:`BatchSimulator` answers a whole batch at
+once by turning the per-position walk into NumPy sweeps across the
+batch dimension.
+
+Kernel layout (packed once per workload)
+----------------------------------------
+
+* ``E``   — the ``(l, k)`` execution-time matrix, C-contiguous float64;
+* ``Tr``  — the ``(l(l-1)/2, p)`` transfer-time matrix (padded to at
+  least ``(1, 1)`` so masked gathers never index an empty array);
+* the DAG's in-edges in **padded CSR** form: ``deg[t]`` (in-degree) and
+  ``pad_prod[t, j]`` / ``pad_item[t, j]`` (producer and data-item of
+  task ``t``'s ``j``-th input) — shape ``(k, D)`` with ``D`` the
+  maximum in-degree.  Lanes past ``deg[t]`` hold a *sentinel* edge
+  (producer ``k``, item ``p``) that reads a permanently-zero finish
+  time and a permanently-zero transfer column, so no mask arithmetic is
+  needed in the hot loop;
+* ``pair_row[a, b]`` — an ``(l, l)`` lookup table for the
+  upper-triangular ``Tr`` row of a machine pair; its diagonal points at
+  an all-zero padding row of ``Tr``, so a same-machine transfer gathers
+  a stored 0.0 instead of branching;
+* ``edge_prod`` / ``edge_cons`` — flat producer/consumer arrays used by
+  the vectorized precedence validation.
+
+Evaluation walks string positions ``0..k-1`` exactly like the scalar
+simulator (the per-machine availability chain is inherently
+sequential), but at each position the whole batch advances in ~15 NumPy
+operations on ``(B,)`` / ``(B, D)`` arrays instead of ``B`` Python
+loop bodies.  All arithmetic (one addition per crossing transfer, one
+addition per execution time, maxima elsewhere) is performed with the
+same operands as the scalar walk, so results are **bit-identical** to
+:meth:`Simulator.makespan` — a property enforced by
+``tests/properties/test_batch_properties.py``.
+
+>>> import numpy as np
+>>> from repro.schedule.operations import random_valid_string
+>>> from repro.schedule.simulator import Simulator
+>>> from repro.workloads import small_workload
+>>> w = small_workload(seed=3)
+>>> batch = [random_valid_string(w.graph, w.num_machines, s) for s in range(4)]
+>>> kernel = BatchSimulator(w)
+>>> got = kernel.string_makespans(batch)
+>>> scalar = Simulator(w)
+>>> got.tolist() == [scalar.string_makespan(s) for s in batch]
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.model.workload import Workload
+from repro.schedule.backend import register_batch_network
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.simulator import InvalidScheduleError
+
+
+def _as_index_matrix(rows: Any, k: int, name: str) -> np.ndarray:
+    """*rows* as a C-contiguous ``(B, k)`` integer array."""
+    arr = np.ascontiguousarray(rows, dtype=np.intp)
+    if arr.ndim == 1 and arr.size == 0:
+        arr = arr.reshape(0, k)
+    if arr.ndim != 2 or arr.shape[1] != k:
+        raise ValueError(
+            f"{name} must have shape (batch, {k}), got {arr.shape}"
+        )
+    return arr
+
+
+@register_batch_network("contention-free")
+class BatchSimulator:
+    """NumPy batch-evaluation kernel for the contention-free model.
+
+    Build once per workload (packing cost is one pass over the DAG),
+    then call :meth:`makespans` with a whole batch of schedules — a GA
+    population, one SE generation's trial moves, a chunk of random
+    samples.  Scores are bit-identical to sequential
+    :meth:`~repro.schedule.simulator.Simulator.makespan` calls.
+    """
+
+    #: True for a real vectorized kernel; the scalar fallback says False.
+    is_vectorized = True
+
+    #: Rows scored per internal chunk: large enough to amortize NumPy
+    #: dispatch overhead, small enough that the precomputed walk tables
+    #: stay cache-resident (measured sweet spot on paper-scale graphs).
+    chunk_size = 128
+
+    __slots__ = (
+        "_workload",
+        "_k",
+        "_l",
+        "_E",
+        "_tr",
+        "_deg",
+        "_pad_prod",
+        "_pad_item",
+        "_max_deg",
+        "_pair_row",
+        "_trv_table",
+        "_edge_prod",
+        "_edge_cons",
+        "_scratch",
+    )
+
+    def __init__(self, workload: Workload):
+        self._workload = workload
+        graph = workload.graph
+        k = self._k = graph.num_tasks
+        l = self._l = workload.num_machines
+        self._E = np.ascontiguousarray(workload.exec_times.values)
+
+        # Tr padded with one all-zero column (the sentinel data item
+        # that unused lanes read) and one all-zero row (the "row" of a
+        # same-machine pair), so zero-cost cases need no mask arithmetic
+        # at all: they simply gather a stored 0.0.
+        tr = workload.transfer_times.values
+        num_rows, num_items = tr.shape
+        tr_pad = np.zeros((num_rows + 1, num_items + 1))
+        if tr.size:
+            tr_pad[:num_rows, :num_items] = tr
+        self._tr = tr_pad
+
+        # (l, l) lookup table: upper-triangular Tr row of a machine
+        # pair; the diagonal points at the all-zero padding row.
+        pair_row = np.full((l, l), num_rows, dtype=np.intp)
+        for a in range(l):
+            for b in range(a + 1, l):
+                pair_row[a, b] = pair_row[b, a] = (
+                    a * l - a * (a + 1) // 2 + (b - a - 1)
+                )
+        self._pair_row = pair_row
+        # Fully tabulated transfer cost T[a, b, item] — collapses the
+        # pair_row + Tr double gather into one — unless the table would
+        # be unreasonably large (big machine counts / item counts).
+        if l * l * (num_items + 1) <= 4_000_000:
+            self._trv_table = np.ascontiguousarray(tr_pad[pair_row])
+        else:
+            self._trv_table = None
+
+        items = graph.data_items
+        in_edges: list[list[tuple[int, int]]] = [[] for _ in range(k)]
+        for d in items:
+            in_edges[d.consumer].append((d.producer, d.index))
+        deg = np.array([len(es) for es in in_edges], dtype=np.intp)
+        D = self._max_deg = int(deg.max()) if k else 0
+        # Sentinel lanes: producer k (a virtual task whose finish time is
+        # pinned at 0.0) and item num_items (the zero Tr column above).
+        pad_prod = np.full((k, max(D, 1)), k, dtype=np.intp)
+        pad_item = np.full((k, max(D, 1)), num_items, dtype=np.intp)
+        for t, es in enumerate(in_edges):
+            for j, (prod, item) in enumerate(es):
+                pad_prod[t, j] = prod
+                pad_item[t, j] = item
+        self._deg = deg
+        self._pad_prod = pad_prod
+        self._pad_item = pad_item
+        self._edge_prod = np.array(
+            [d.producer for d in items], dtype=np.intp
+        )
+        self._edge_cons = np.array(
+            [d.consumer for d in items], dtype=np.intp
+        )
+        # chunk-sized scratch buffers, allocated lazily on first use and
+        # reused across calls (fresh multi-MB allocations would pay page
+        # faults every batch); makes instances NOT thread-safe
+        self._scratch: Optional[dict] = None
+
+    @property
+    def workload(self) -> Workload:
+        return self._workload
+
+    @property
+    def num_tasks(self) -> int:
+        return self._k
+
+    @property
+    def num_machines(self) -> int:
+        return self._l
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate_batch(
+        self, orders: np.ndarray, machines: np.ndarray
+    ) -> None:
+        """Raise unless every row encodes a valid schedule.
+
+        Checks (all vectorized): each order is a permutation of
+        ``0..k-1``, every machine id is in range, and every data item's
+        producer precedes its consumer.  Mirrors the scalar simulator's
+        :class:`~repro.schedule.simulator.InvalidScheduleError` for
+        precedence violations.
+        """
+        k = self._k
+        if not (
+            np.sort(orders, axis=1) == np.arange(k, dtype=np.intp)
+        ).all():
+            raise InvalidScheduleError(
+                "batch contains an order that is not a permutation of "
+                f"0..{k - 1}"
+            )
+        if machines.size and (
+            machines.min() < 0 or machines.max() >= self._l
+        ):
+            raise ValueError(
+                f"batch contains machine ids outside [0, {self._l})"
+            )
+        if self._edge_prod.size:
+            pos = np.empty_like(orders)
+            np.put_along_axis(
+                pos, orders, np.arange(k, dtype=np.intp)[None, :], axis=1
+            )
+            ok = pos[:, self._edge_prod] < pos[:, self._edge_cons]
+            if not ok.all():
+                b, e = np.argwhere(~ok)[0]
+                raise InvalidScheduleError(
+                    f"schedule {b}: subtask {self._edge_cons[e]} scheduled "
+                    f"before its producer {self._edge_prod[e]}"
+                )
+
+    # ------------------------------------------------------------------
+    # hot path
+    # ------------------------------------------------------------------
+
+    def makespans(
+        self,
+        orders: Any,
+        machines: Any,
+        validate: bool = True,
+    ) -> np.ndarray:
+        """Makespan of every schedule in the batch, as a ``(B,)`` array.
+
+        Parameters
+        ----------
+        orders:
+            ``(B, k)`` array-like; row ``b`` is schedule ``b``'s subtask
+            permutation (string left to right).
+        machines:
+            ``(B, k)`` array-like; ``machines[b, t]`` is the machine
+            assigned to subtask ``t`` in schedule ``b`` (indexed by
+            subtask id, exactly like ``ScheduleString.machines``).
+        validate:
+            Check permutations / machine ranges / precedence first.
+            Callers that construct provably valid batches (the SE
+            allocator's in-range relocations) may pass ``False``.
+
+        Returns the same floats, bit for bit, as a sequential loop of
+        ``Simulator.makespan`` calls over the rows.
+        """
+        k = self._k
+        orders = _as_index_matrix(orders, k, "orders")
+        machines = _as_index_matrix(machines, k, "machines")
+        if machines.shape[0] != orders.shape[0]:
+            raise ValueError(
+                f"orders has {orders.shape[0]} rows but machines has "
+                f"{machines.shape[0]}"
+            )
+        B = orders.shape[0]
+        if B == 0:
+            return np.empty(0, dtype=float)
+        if validate:
+            self.validate_batch(orders, machines)
+        if B <= self.chunk_size:
+            return self._score_chunk(orders, machines)
+        out = np.empty(B)
+        for start in range(0, B, self.chunk_size):
+            stop = min(start + self.chunk_size, B)
+            out[start:stop] = self._score_chunk(
+                orders[start:stop], machines[start:stop]
+            )
+        return out
+
+    def _score_chunk(
+        self, orders: np.ndarray, machines: np.ndarray
+    ) -> np.ndarray:
+        """Score one cache-sized chunk of validated schedules.
+
+        Everything except the finish/availability chain is a static
+        function of ``(orders, machines)``, so it is precomputed in
+        whole-batch sweeps (per-position execution times, per-lane
+        producer-finish gather indices, per-lane transfer costs).  The
+        gathers run batch-major — each schedule's rows stay
+        cache-resident — and the position-major layout conversion the
+        walk wants is folded into the final ``copyto``.  The walk itself
+        is then ~8 flat NumPy ops per string position into preallocated
+        buffers.
+        """
+        k = self._k
+        l = self._l
+        B = orders.shape[0]
+        D = self._max_deg
+        sc = self._scratch_buffers(B)
+        rows = np.arange(B, dtype=np.intp)[:, None]
+
+        m_all = np.take_along_axis(machines, orders, axis=1)  # (B, k)
+        exec_pm = np.ascontiguousarray(self._E[m_all, orders].T)
+        # flat scatter/gather indices into machine_avail (B*l) and the
+        # sentinel-padded finish array (B*(k+1))
+        avail_idx_pm = np.ascontiguousarray((m_all + rows * l).T)
+        fin_idx_pm = np.ascontiguousarray((orders + rows * (k + 1)).T)
+        dmax_at = np.take(self._deg, orders).max(axis=0).tolist()
+
+        lane_idx = sc["lane_idx"][:, :, :B]
+        lane_trv = sc["lane_trv"][:, :, :B]
+        if D:
+            rows_fin = rows[:, :, None] * (k + 1)
+            prod_all = sc["prod"][:B]
+            pf_idx = sc["pfidx"][:B]
+            trv = sc["trv"][:B]
+            np.take(self._pad_prod, orders, axis=0, out=prod_all)
+            np.add(prod_all, rows_fin, out=pf_idx)
+            machines_pad = sc["mpad"][:B]
+            machines_pad[:, :k] = machines
+            pm = sc["pm"][:B]
+            np.take(machines_pad.reshape(-1), pf_idx, out=pm)
+            item_all = sc["item"][:B]
+            np.take(self._pad_item, orders, axis=0, out=item_all)
+            if self._trv_table is not None:
+                # one flat gather from the tabulated (l, l, p+1) costs:
+                # index = (pm*l + m)*(p+1) + item, built in place
+                P1 = self._tr.shape[1]
+                np.multiply(pm, l * P1, out=pm)
+                pm += (m_all * P1)[:, :, None]
+                pm += item_all
+                np.take(self._trv_table.reshape(-1), pm, out=trv)
+            else:
+                trv[...] = self._tr[
+                    self._pair_row[pm, m_all[:, :, None]], item_all
+                ]
+            # lane tables (k, D, B): position-major, batch innermost —
+            # the layout conversion is fused into these two copies
+            np.copyto(lane_idx, pf_idx.transpose(1, 2, 0))
+            np.copyto(lane_trv, trv.transpose(1, 2, 0))
+        # small and needed contiguous as a take() target -> per call
+        pf_buf = np.empty((max(D, 1), B))
+
+        # ---- the sequential walk: only the finish / availability chain
+        # remains.  Sentinel lanes gather stored zeros (producer k's
+        # finish, Tr's padding row/column), so no masking is needed.
+        finish = sc["finish"][: B * (k + 1)]
+        finish.fill(0.0)
+        avail = sc["avail"][: B * l]
+        avail.fill(0.0)
+        ready = sc["ready"][:B]
+        arrive = sc["arrive"][:B]
+        for p in range(k):
+            np.take(avail, avail_idx_pm[p], out=ready)
+            dmax = dmax_at[p]
+            if dmax:
+                pf = pf_buf[:dmax]
+                np.take(finish, lane_idx[p, :dmax], out=pf)
+                pf += lane_trv[p, :dmax]
+                pf.max(axis=0, out=arrive)
+                np.maximum(ready, arrive, out=ready)
+            ready += exec_pm[p]
+            finish[fin_idx_pm[p]] = ready
+            avail[avail_idx_pm[p]] = ready
+        # every subtask finishes on some machine and per-machine finish
+        # times only grow, so the final availability row holds each
+        # machine's last finish — its max is exactly the makespan
+        return avail.reshape(B, l).max(axis=1)
+
+    def _scratch_buffers(self, batch_rows: int) -> dict:
+        """Reusable per-instance scratch, sized for ``chunk_size`` rows.
+
+        Rebuilt only if ``chunk_size`` grew since allocation.  Keeping
+        these alive across calls avoids multi-megabyte allocations (and
+        their page faults) in every batch — worth ~2x on paper-scale
+        batches.  This is what makes instances not thread-safe.
+        """
+        C = max(self.chunk_size, batch_rows)
+        sc = self._scratch
+        if sc is not None and sc["capacity"] >= C:
+            return sc
+        k = self._k
+        D = max(self._max_deg, 1)
+        self._scratch = sc = {
+            "capacity": C,
+            "prod": np.empty((C, k, D), dtype=np.intp),
+            "item": np.empty((C, k, D), dtype=np.intp),
+            "pfidx": np.empty((C, k, D), dtype=np.intp),
+            "pm": np.empty((C, k, D), dtype=np.intp),
+            "trv": np.empty((C, k, D)),
+            "mpad": np.zeros((C, k + 1), dtype=np.intp),
+            "lane_idx": np.empty((k, D, C), dtype=np.intp),
+            "lane_trv": np.empty((k, D, C)),
+            "finish": np.empty(C * (k + 1)),
+            "avail": np.empty(C * self._l),
+            "ready": np.empty(C),
+            "arrive": np.empty(C),
+        }
+        return sc
+
+    def string_makespans(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> np.ndarray:
+        """:meth:`makespans` over :class:`ScheduleString` objects."""
+        if not strings:
+            return np.empty(0, dtype=float)
+        orders = np.array([s.order for s in strings], dtype=np.intp)
+        machines = np.array([s.machines for s in strings], dtype=np.intp)
+        return self.makespans(orders, machines, validate=validate)
+
+
+class SequentialBatchKernel:
+    """Scalar fallback: a batch API looping over any scalar backend.
+
+    Used when a network model (e.g. ``"nic"``) has no vectorized kernel
+    registered, so batch-aware callers can stay on one code path.  The
+    scalar backend performs its own precedence checks, hence *validate*
+    is accepted for signature parity but has no extra work to do.
+    """
+
+    is_vectorized = False
+
+    __slots__ = ("_backend",)
+
+    def __init__(self, backend: Any):
+        self._backend = backend
+
+    @property
+    def workload(self) -> Workload:
+        return self._backend.workload
+
+    def makespans(
+        self, orders: Any, machines: Any, validate: bool = True
+    ) -> np.ndarray:
+        out = [
+            self._backend.makespan(list(o), list(m))
+            for o, m in zip(orders, machines)
+        ]
+        return np.array(out, dtype=float)
+
+    def string_makespans(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> np.ndarray:
+        return np.array(
+            [self._backend.string_makespan(s) for s in strings],
+            dtype=float,
+        )
+
+
+class BatchBackend:
+    """A scalar :class:`SimulatorBackend` extended with batch scoring.
+
+    Produced by ``make_simulator(workload, network, batch=True)``.
+    Scalar-tier methods (``makespan``, ``prepare``, ``evaluate_delta``,
+    ...) are bound straight from the wrapped backend, so the incremental
+    hot path pays zero delegation overhead; :meth:`batch_makespans` and
+    :meth:`batch_string_makespans` go through the vectorized kernel (or
+    the scalar fallback when the network has none).
+    """
+
+    _FORWARDED = (
+        "makespan",
+        "string_makespan",
+        "evaluate",
+        "prepare",
+        "prepare_string",
+        "evaluate_delta",
+        "finish_times",
+    )
+
+    def __init__(self, scalar: Any, kernel: Any):
+        self._scalar = scalar
+        self._kernel = kernel
+        self.is_vectorized = bool(kernel.is_vectorized)
+        for name in self._FORWARDED:
+            method = getattr(scalar, name, None)
+            if method is not None:
+                setattr(self, name, method)
+
+    @property
+    def workload(self) -> Workload:
+        return self._scalar.workload
+
+    @property
+    def scalar_backend(self) -> Any:
+        """The wrapped scalar backend (for tests and introspection)."""
+        return self._scalar
+
+    @property
+    def kernel(self) -> Any:
+        """The batch kernel (``BatchSimulator`` or the scalar fallback)."""
+        return self._kernel
+
+    def batch_makespans(
+        self, orders: Any, machines: Any, validate: bool = True
+    ) -> np.ndarray:
+        """Batch of makespans; see :meth:`BatchSimulator.makespans`."""
+        return self._kernel.makespans(orders, machines, validate=validate)
+
+    def batch_string_makespans(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> np.ndarray:
+        """Batch of makespans over :class:`ScheduleString` objects."""
+        return self._kernel.string_makespans(strings, validate=validate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "vectorized" if self.is_vectorized else "sequential"
+        return (
+            f"BatchBackend({type(self._scalar).__name__}, {mode} batch)"
+        )

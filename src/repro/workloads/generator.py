@@ -20,7 +20,7 @@ whose size is drawn here and later monetised into transfer times by
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

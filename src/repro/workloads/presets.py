@@ -14,8 +14,7 @@ helpers pin the parameters the paper states for each experiment:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.model.system import HCSystem
 from repro.model.workload import Workload, WorkloadClass

@@ -1,7 +1,5 @@
 """Tests for runner configuration plumbing in the comparison harness."""
 
-import pytest
-
 from repro.analysis.compare import (
     COMPARISON_SE_BIAS,
     ga_runner,

@@ -243,3 +243,40 @@ class TestIncrementalEvaluation:
 
     def test_delta_path_is_default(self):
         assert GAConfig().incremental_evaluation is True
+
+
+class TestBatchFitness:
+    """The vectorized population-fitness path must be invisible in
+    results: identical traces, best makespans and final strings."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_batch_path_equals_scalar_path(self, tiny_workload, seed):
+        cfg = dict(max_generations=25, stall_generations=None, seed=seed)
+        batch = run_ga(tiny_workload, GAConfig(batch_fitness=True, **cfg))
+        scalar = run_ga(
+            tiny_workload,
+            GAConfig(
+                batch_fitness=False, incremental_evaluation=False, **cfg
+            ),
+        )
+        assert batch.best_makespan == scalar.best_makespan  # bit-identical
+        assert batch.trace.best_makespans() == scalar.trace.best_makespans()
+        assert (
+            batch.trace.current_makespans()
+            == scalar.trace.current_makespans()
+        )
+        assert batch.best_string == scalar.best_string
+        # the batch path counts exactly one simulator call per chromosome
+        assert batch.evaluations == scalar.evaluations
+
+    def test_batch_path_is_default(self):
+        assert GAConfig().batch_fitness is True
+
+    def test_batch_fitness_under_nic_keeps_results(self, tiny_workload):
+        cfg = dict(
+            max_generations=10, stall_generations=None, seed=3, network="nic"
+        )
+        batch = run_ga(tiny_workload, GAConfig(batch_fitness=True, **cfg))
+        scalar = run_ga(tiny_workload, GAConfig(batch_fitness=False, **cfg))
+        assert batch.best_makespan == scalar.best_makespan
+        assert batch.best_string == scalar.best_string

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.trace import IterationRecord
-from repro.core import SEConfig, SimulatedEvolution, run_se
+from repro.core import SEConfig, run_se
 from repro.core.observers import StallDetector, StringSnapshots
 from repro.schedule import Simulator, is_valid_for, verify_schedule
 from repro.schedule.operations import random_valid_string

@@ -19,7 +19,7 @@ from repro.io import (
     workload_to_dict,
 )
 from repro.model import paper_sample_workload
-from repro.schedule import ScheduleString, Simulator
+from repro.schedule import Simulator
 from repro.schedule.operations import random_valid_string
 from repro.workloads import WorkloadSpec, build_workload
 

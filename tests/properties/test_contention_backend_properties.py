@@ -18,7 +18,6 @@ from hypothesis import strategies as st
 
 from repro.extensions.contention import ContentionSimulator
 from repro.model import TransferTimeMatrix, Workload, num_pairs
-from repro.schedule.operations import random_valid_string
 from repro.schedule.simulator import Simulator
 from repro.schedule.valid_range import valid_insertion_range
 from tests.strategies import workload_strings

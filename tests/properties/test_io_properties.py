@@ -3,7 +3,6 @@
 import xml.etree.ElementTree as ET
 
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.io.serialization import (
     schedule_from_dict,

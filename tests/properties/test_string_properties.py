@@ -6,7 +6,7 @@ the initial-solution shuffles all rely on it.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.schedule.encoding import is_valid_for
@@ -14,7 +14,6 @@ from repro.schedule.operations import (
     random_reassign,
     random_topological_order,
     random_valid_move,
-    random_valid_string,
 )
 from repro.schedule.valid_range import (
     machine_slot_indices,

@@ -1,10 +1,9 @@
 """Unit tests for validity-preserving random string operations."""
 
-import numpy as np
 import pytest
 
 from repro.model.graph import TaskGraph
-from repro.schedule.encoding import ScheduleString, is_valid_for
+from repro.schedule.encoding import is_valid_for
 from repro.schedule.operations import (
     random_reassign,
     random_topological_order,

@@ -19,7 +19,7 @@ from repro.model import (
     Workload,
     num_pairs,
 )
-from repro.schedule import ScheduleString, random_valid_string
+from repro.schedule import random_valid_string
 
 
 @st.composite
