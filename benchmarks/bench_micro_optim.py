@@ -1,0 +1,188 @@
+"""MICRO-SA / MICRO-TABU — microbenchmarks of the optim-core hot paths.
+
+The two new engines lean on the evaluation tiers the optim core routes
+for them, and these benches measure exactly those call patterns at
+paper scale (100 tasks, 20 machines):
+
+* MICRO-SA   — the annealing proposal stream: one random pairwise move
+  scored against the current solution.  Compares the engine's
+  incremental ``evaluate_delta`` path (anchored at the move's first
+  changed position) with naive full ``makespan`` calls.
+* MICRO-TABU — the tabu neighborhood sweep: ``neighborhood_size``
+  candidate strings scored per iteration.  Compares the
+  ``EvaluationService`` batch route (vectorized kernel) with the
+  scalar per-candidate loop.
+
+Every case first asserts the two strategies agree bit-for-bit, then
+records best-of wall-clock ratios as :mod:`repro.perf` records in
+``benchmarks/output/BENCH_micro.json`` for the CI perf gate.
+Assertion floors are deliberately far below the expected ratios so a
+loaded CI machine cannot flake the tier-1 suite; the *gate* lives in
+``repro perf check`` against the committed baseline.
+"""
+
+import time
+
+import numpy as np
+
+from repro.optim import EvaluationService
+from repro.optim.neighborhood import (
+    applied_copy,
+    first_changed_position,
+    random_move,
+)
+from repro.schedule.operations import random_valid_string
+from repro.schedule.simulator import Simulator
+from repro.utils.rng import as_rng
+from repro.workloads import figure5_workload
+
+
+def paper_scale_workload():
+    return figure5_workload(seed=1)
+
+
+def best_of(fn, budget: float = 1.0):
+    """Minimum wall-clock time of *fn* over repeated runs in *budget* s
+    (the same estimator as the other MICRO-* benches)."""
+    fn()  # warm-up
+    best = float("inf")
+    start = time.perf_counter()
+    while time.perf_counter() - start < budget:
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_micro_sa_proposal_stream(write_output, perf_log):
+    """MICRO-SA: delta-scored proposals vs full re-evaluation."""
+    w = paper_scale_workload()
+    sim = Simulator(w)
+    string = random_valid_string(w.graph, w.num_machines, 7)
+    rng = as_rng(3)
+    n_proposals = 200
+    # the exact probe set an SA run would score against one incumbent:
+    # a random move, its delta anchor, and the moved copy
+    probes = []
+    for _ in range(n_proposals):
+        mv = random_move(string, w.graph, rng, reassign_prob=0.5)
+        probes.append(
+            (first_changed_position(string, mv), applied_copy(string, mv))
+        )
+    state = sim.prepare(string.order, string.machines)
+
+    def full_pass():
+        return [sim.makespan(c.order, c.machines) for _, c in probes]
+
+    def delta_pass():
+        return [
+            sim.evaluate_delta(c.order, c.machines, first, state)
+            for first, c in probes
+        ]
+
+    assert full_pass() == delta_pass()  # bit-identical proposal costs
+
+    t_full = best_of(full_pass)
+    t_delta = best_of(delta_pass)
+    speedup = t_full / t_delta
+
+    perf_log("MICRO-SA", "delta_speedup", round(speedup, 3), "x")
+    perf_log(
+        "MICRO-SA",
+        "delta_per_proposal",
+        round(t_delta / n_proposals * 1e6, 2),
+        "us",
+    )
+    write_output(
+        "micro_sa_proposals",
+        "MICRO-SA — annealing proposal stream: full re-evaluation vs "
+        "incremental delta\n\n"
+        f"{n_proposals} random pairwise-move proposals against one "
+        f"incumbent at paper scale\n({w.num_tasks} tasks, "
+        f"{w.num_machines} machines)\n"
+        f"full  : {t_full * 1e3:.2f} ms/pass "
+        f"({t_full / n_proposals * 1e6:.1f} us/proposal)\n"
+        f"delta : {t_delta * 1e3:.2f} ms/pass "
+        f"({t_delta / n_proposals * 1e6:.1f} us/proposal)\n"
+        f"speedup: {speedup:.2f}x\n",
+    )
+    assert speedup >= 1.0  # loose floor; the perf gate holds the bar
+
+
+def test_micro_tabu_neighborhood_sweep(write_output, perf_log):
+    """MICRO-TABU: batch-scored neighborhoods vs the scalar loop."""
+    w = paper_scale_workload()
+    service = EvaluationService(w)  # vectorized on contention-free
+    scalar = Simulator(w)
+    rng = as_rng(11)
+    neighborhood_size = 24
+    n_sweeps = 8
+    base = random_valid_string(w.graph, w.num_machines, 5)
+    neighborhoods = [
+        [
+            applied_copy(
+                base, random_move(base, w.graph, rng, avoid_noop=True)
+            )
+            for _ in range(neighborhood_size)
+        ]
+        for _ in range(n_sweeps)
+    ]
+
+    def scalar_pass():
+        return [
+            [scalar.string_makespan(c) for c in hood]
+            for hood in neighborhoods
+        ]
+
+    def batch_pass():
+        return [
+            service.batch_string_makespans(hood, validate=False)
+            for hood in neighborhoods
+        ]
+
+    assert scalar_pass() == batch_pass()  # bit-identical neighborhoods
+
+    t_scalar = best_of(scalar_pass)
+    t_batch = best_of(batch_pass)
+    speedup = t_scalar / t_batch
+
+    per_cand = t_batch / (n_sweeps * neighborhood_size)
+    perf_log("MICRO-TABU", "batch_speedup", round(speedup, 3), "x")
+    perf_log(
+        "MICRO-TABU", "batch_per_candidate", round(per_cand * 1e6, 2), "us"
+    )
+    write_output(
+        "micro_tabu_neighborhoods",
+        "MICRO-TABU — tabu candidate neighborhoods: scalar loop vs "
+        "EvaluationService batch route\n\n"
+        f"{n_sweeps} neighborhoods x {neighborhood_size} candidates at "
+        f"paper scale ({w.num_tasks} tasks, {w.num_machines} machines)\n"
+        f"scalar : {t_scalar * 1e3:.2f} ms/pass\n"
+        f"batch  : {t_batch * 1e3:.2f} ms/pass\n"
+        f"speedup: {speedup:.2f}x\n",
+    )
+    assert speedup >= 1.0  # loose floor; the perf gate holds the bar
+
+
+def test_micro_engines_agree_across_backends():
+    """SA and tabu optimise what they measure on both backends.
+
+    Not a timing case: pins that each engine's reported best equals an
+    independent re-evaluation under its configured network — the
+    contract the sweep's league tables rely on.
+    """
+    from repro.extensions.contention import ContentionSimulator
+    from repro.optim import SAConfig, TabuConfig, run_sa, run_tabu
+
+    w = paper_scale_workload()
+    sa = run_sa(w, SAConfig(seed=1, max_iterations=60))
+    assert np.isclose(
+        sa.best_makespan, Simulator(w).string_makespan(sa.best_string)
+    )
+    tabu = run_tabu(
+        w, TabuConfig(seed=1, max_iterations=4, network="nic")
+    )
+    assert np.isclose(
+        tabu.best_makespan,
+        ContentionSimulator(w).string_makespan(tabu.best_string),
+    )

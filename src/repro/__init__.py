@@ -9,10 +9,11 @@ A faithful, production-quality reproduction of
 including the heterogeneous-computing problem model, the combined
 matching+scheduling string encoding, the SE engine (evaluation /
 selection / allocation), the GA comparator of Wang et al. (JPDC 1997),
-classic deterministic baselines (HEFT, Min-min, Max-min, OLB), workload
-generators over the paper's three classification axes (connectivity,
-heterogeneity, CCR), and a benchmark harness regenerating every figure
-of the paper's evaluation section.
+classic deterministic baselines (HEFT, Min-min, Max-min, OLB), a unified
+metaheuristic search core with simulated-annealing and tabu-search
+engines (:mod:`repro.optim`), workload generators over the paper's three
+classification axes (connectivity, heterogeneity, CCR), and a benchmark
+harness regenerating every figure of the paper's evaluation section.
 
 Quickstart (executable — CI runs it under ``--doctest-modules``):
 
@@ -47,6 +48,7 @@ from repro import (
     extensions,
     io,
     model,
+    optim,
     runner,
     schedule,
     workloads,
@@ -67,6 +69,15 @@ from repro.core import (
     SEResult,
     SimulatedEvolution,
     run_se,
+)
+from repro.optim import (
+    SAConfig,
+    SearchResult,
+    SimulatedAnnealing,
+    TabuConfig,
+    TabuSearch,
+    run_sa,
+    run_tabu,
 )
 from repro.model import (
     HCSystem,
@@ -93,6 +104,7 @@ __all__ = [
     "extensions",
     "io",
     "model",
+    "optim",
     "runner",
     "schedule",
     "workloads",
@@ -109,6 +121,13 @@ __all__ = [
     "SEResult",
     "SimulatedEvolution",
     "run_se",
+    "SAConfig",
+    "SearchResult",
+    "SimulatedAnnealing",
+    "TabuConfig",
+    "TabuSearch",
+    "run_sa",
+    "run_tabu",
     "HCSystem",
     "TaskGraph",
     "Workload",

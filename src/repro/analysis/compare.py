@@ -149,6 +149,53 @@ def ga_runner(
     return run
 
 
+def sa_runner(
+    base: Optional["SAConfig"] = None, seed: RandomSource = None
+) -> Runner:
+    """Build a simulated-annealing runner for :func:`compare_algorithms`."""
+
+    def run(workload: Workload, time_limit: float) -> ConvergenceTrace:
+        from dataclasses import replace
+
+        from repro.optim import SAConfig, SimulatedAnnealing
+
+        cfg_base = base or SAConfig()
+        cfg = replace(
+            cfg_base,
+            time_limit=time_limit,
+            max_iterations=10**9,
+            # a wall-clock budget can mean millions of ~25 µs proposals;
+            # record one per temperature level (plus every improvement)
+            record_every=max(cfg_base.record_every, cfg_base.steps_per_temp),
+            seed=seed if seed is not None else cfg_base.seed,
+        )
+        return SimulatedAnnealing(cfg).run(workload).trace
+
+    return run
+
+
+def tabu_runner(
+    base: Optional["TabuConfig"] = None, seed: RandomSource = None
+) -> Runner:
+    """Build a tabu-search runner for :func:`compare_algorithms`."""
+
+    def run(workload: Workload, time_limit: float) -> ConvergenceTrace:
+        from dataclasses import replace
+
+        from repro.optim import TabuConfig, TabuSearch
+
+        cfg_base = base or TabuConfig()
+        cfg = replace(
+            cfg_base,
+            time_limit=time_limit,
+            max_iterations=10**9,
+            seed=seed if seed is not None else cfg_base.seed,
+        )
+        return TabuSearch(cfg).run(workload).trace
+
+    return run
+
+
 def compare_algorithms(
     workload: Workload,
     runners: Mapping[str, Runner],
@@ -226,6 +273,57 @@ def se_vs_ga(
     )
 
 
+#: Runner factories for :func:`compare_named`, keyed by algorithm name.
+#: Each maps ``seed=`` to an independent RNG stream; SE gets the
+#: calibrated :data:`COMPARISON_SE_BIAS` like :func:`se_vs_ga` does.
+_NAMED_RUNNERS = {
+    "se": lambda seed: se_runner(
+        SEConfig(selection_bias=COMPARISON_SE_BIAS), seed=seed
+    ),
+    "ga": lambda seed: ga_runner(seed=seed),
+    "sa": lambda seed: sa_runner(seed=seed),
+    "tabu": lambda seed: tabu_runner(seed=seed),
+}
+
+
+def compare_named(
+    workload: Workload,
+    algorithms: Sequence[str],
+    time_budget: float,
+    grid_points: int = 20,
+    seed: RandomSource = None,
+) -> ComparisonResult:
+    """Head-to-head among any of the iterative engines by name.
+
+    Generalises :func:`se_vs_ga` to the full engine roster (``"se"``,
+    ``"ga"``, ``"sa"``, ``"tabu"``): every named engine runs under the
+    same wall-clock budget with an independent RNG stream spawned from
+    *seed*, and the best-so-far curves are sampled on one common grid.
+    Series are named with the upper-cased algorithm names.
+    """
+    from repro.utils.rng import spawn_rngs
+
+    names = [a.strip().lower() for a in algorithms if a.strip()]
+    if not names:
+        raise ValueError("need at least one algorithm name")
+    unknown = sorted(set(names) - set(_NAMED_RUNNERS))
+    if unknown:
+        raise ValueError(
+            f"unknown comparison algorithms {unknown}; available: "
+            f"{', '.join(sorted(_NAMED_RUNNERS))}"
+        )
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate algorithm names in {names}")
+    rngs = spawn_rngs(seed, len(names))
+    runners = {
+        name.upper(): _NAMED_RUNNERS[name](rng)
+        for name, rng in zip(names, rngs)
+    }
+    return compare_algorithms(
+        workload, runners, time_budget=time_budget, grid_points=grid_points
+    )
+
+
 def series_from_trace(
     name: str,
     trace: ConvergenceTrace,
@@ -291,6 +389,18 @@ def head_to_head_experiment(
                 "time_limit": time_budget,
                 "max_generations": 10**9,
                 "stall_generations": None,
+            }
+        elif kind == "sa":
+            base = {
+                "time_limit": time_budget,
+                "max_iterations": 10**9,
+                # bound the per-proposal trace under a wall-clock budget
+                "record_every": 50,
+            }
+        elif kind == "tabu":
+            base = {
+                "time_limit": time_budget,
+                "max_iterations": 10**9,
             }
         else:
             base = {}

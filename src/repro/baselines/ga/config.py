@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.optim.stop import StopPolicy
 from repro.schedule.backend import DEFAULT_NETWORK
 from repro.utils.rng import RandomSource
 
@@ -116,3 +117,17 @@ class GAConfig:
             raise ValueError(
                 f"network must be a backend name string, got {self.network!r}"
             )
+
+    def stop_policy(self) -> StopPolicy:
+        """The run's stopping rules as a shared :class:`StopPolicy`.
+
+        ``max_generations`` / ``stall_generations`` map onto the
+        policy's generic iteration fields, so the GA reports the same
+        stop-reason strings as every other engine (``"iterations"`` —
+        not the historical ``"generations"`` — for an exhausted cap).
+        """
+        return StopPolicy(
+            max_iterations=self.max_generations,
+            time_limit=self.time_limit,
+            stall_iterations=self.stall_generations,
+        )

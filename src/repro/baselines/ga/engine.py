@@ -37,7 +37,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.trace import ConvergenceTrace, IterationRecord
+from repro.analysis.trace import ConvergenceTrace
 from repro.baselines.ga.chromosome import Chromosome, initial_population
 from repro.baselines.ga.config import GAConfig
 from repro.baselines.ga.operators import (
@@ -47,7 +47,7 @@ from repro.baselines.ga.operators import (
     scheduling_mutation,
 )
 from repro.model.workload import Workload
-from repro.schedule.backend import make_simulator, plain_schedule
+from repro.optim import EvaluationService, Observer, SearchLoop, StepOutcome
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.simulator import Schedule
 from repro.utils.rng import as_rng
@@ -85,7 +85,13 @@ def _first_divergence(
 
 @dataclass(frozen=True)
 class GAResult:
-    """Outcome of one GA run (mirror of :class:`repro.core.engine.SEResult`)."""
+    """Outcome of one GA run (mirror of :class:`repro.core.engine.SEResult`).
+
+    ``stopped_by`` uses the unified :mod:`repro.optim.stop` reason
+    strings — ``"iterations"`` (the generation cap; historically this
+    engine said ``"generations"``), ``"time"`` or ``"stall"`` — so SE
+    and GA runs report identically.
+    """
 
     best_string: ScheduleString
     best_makespan: float
@@ -106,6 +112,7 @@ class GeneticAlgorithm:
         self,
         workload: Workload,
         initial: Optional[Sequence[Chromosome]] = None,
+        observers: Sequence[Observer] = (),
     ) -> GAResult:
         """Optimise *workload*; returns the best chromosome found.
 
@@ -116,18 +123,24 @@ class GeneticAlgorithm:
         initial:
             Optional seed population (copied); padded with random
             chromosomes / truncated to the configured size.
+        observers:
+            Callables invoked once per generation with ``(record,
+            string)`` — the same protocol as the SE engine's observers;
+            the string is the generation's best chromosome decoded to a
+            :class:`ScheduleString`.
         """
         cfg = self.config
         rng = as_rng(cfg.seed)
         graph = workload.graph
         l = workload.num_machines
         # Fitness comes from the configured backend, so "nic" makes the
-        # whole evolution optimise under NIC contention.  With
-        # batch_fitness the backend is wrapped with its batch kernel;
-        # only a genuinely vectorized kernel replaces the scalar paths.
-        sim = make_simulator(workload, cfg.network, batch=cfg.batch_fitness)
-        use_batch = cfg.batch_fitness and getattr(sim, "is_vectorized", False)
-        evaluations = 0
+        # whole evolution optimise under NIC contention.  The service
+        # routes batch scoring through the network's kernel; only a
+        # genuinely vectorized kernel replaces the scalar paths.
+        service = EvaluationService(
+            workload, cfg.network, prefer_batch=cfg.batch_fitness
+        )
+        use_batch = cfg.batch_fitness and service.is_vectorized
 
         population = [c.copy() for c in (initial or [])][: cfg.population_size]
         if len(population) < cfg.population_size:
@@ -140,29 +153,28 @@ class GeneticAlgorithm:
         def evaluate(
             pop: list[Chromosome],
             parents: Optional[list[Optional[Chromosome]]] = None,
-        ) -> int:
-            """Fill every missing ``cost``; returns simulator calls made.
+        ) -> None:
+            """Fill every missing ``cost`` (the service counts the calls).
 
             ``parents[i]``, when given, is a chromosome whose string
             shares a prefix with ``pop[i]`` (its crossover/copy source).
             On a vectorized backend all pending chromosomes are scored
-            in one batch-kernel sweep.  Otherwise children are grouped
-            by parent; a parent with >= 3 pending children is prepared
+            in one batch sweep.  Otherwise children are grouped by
+            parent; a parent with >= 3 pending children is prepared
             once and its children scored by suffix-only re-evaluation.
             Both paths are bit-identical to the plain scalar loop.
             """
             if use_batch:
                 pending = [c for c in pop if c.cost is None]
                 if not pending:
-                    return 0
-                costs = sim.batch_makespans(
+                    return
+                costs = service.batch_makespans(
                     [c.scheduling for c in pending],
                     [c.matching for c in pending],
                 )
-                for c, cost in zip(pending, costs.tolist()):
+                for c, cost in zip(pending, costs):
                     c.cost = cost
-                return len(pending)
-            calls = 0
+                return
             groups: dict[int, list[Chromosome]] = {}
             by_parent: dict[int, Chromosome] = {}
             for i, c in enumerate(pop):
@@ -177,8 +189,7 @@ class GeneticAlgorithm:
                     groups.setdefault(id(par), []).append(c)
                     by_parent[id(par)] = par
                 else:
-                    c.cost = sim.makespan(c.scheduling, c.matching)
-                    calls += 1
+                    c.cost = service.makespan(c.scheduling, c.matching)
             for key, children in groups.items():
                 par = by_parent[key]
                 if len(children) < 3:
@@ -187,34 +198,22 @@ class GeneticAlgorithm:
                     # average), so fewer than three children per parent
                     # cannot amortise the snapshot
                     for c in children:
-                        c.cost = sim.makespan(c.scheduling, c.matching)
-                        calls += 1
+                        c.cost = service.makespan(c.scheduling, c.matching)
                     continue
-                state = sim.prepare(par.scheduling, par.matching)
-                calls += 1
+                state = service.prepare(par.scheduling, par.matching)
                 parent_pos = state.pos_of
                 for c in children:
                     f = _first_divergence(par, c, parent_pos)
-                    c.cost = sim.evaluate_delta(
+                    c.cost = service.evaluate_delta(
                         c.scheduling, c.matching, f, state
                     )
-                    calls += 1
-            return calls
 
         watch = Stopwatch()
-        trace = ConvergenceTrace()
-        evaluations += evaluate(population)
-        best = min(population, key=lambda c: c.cost).copy()
-        stall = 0
-        stopped_by = "generations"
-        generation = 0
+        evaluate(population)
+        initial_best = min(population, key=lambda c: c.cost)
 
-        while generation < cfg.max_generations:
-            if cfg.time_limit is not None and watch.elapsed() >= cfg.time_limit:
-                stopped_by = "time"
-                break
-            generation += 1
-
+        def step(generation: int) -> StepOutcome[Chromosome]:
+            nonlocal population
             nxt: list[Chromosome] = []
             nxt_parents: list[Optional[Chromosome]] = []
             if cfg.elite_count:
@@ -250,45 +249,38 @@ class GeneticAlgorithm:
                     nxt_parents.append(pb)
 
             population = nxt
-            evaluations += evaluate(population, nxt_parents)
+            evaluate(population, nxt_parents)
             gen_best = min(population, key=lambda c: c.cost)
-            if gen_best.cost < best.cost:
-                best = gen_best.copy()
-                stall = 0
-            else:
-                stall += 1
-
-            trace.append(
-                IterationRecord(
-                    iteration=generation,
-                    current_makespan=float(gen_best.cost),
-                    best_makespan=float(best.cost),
-                    num_selected=None,
-                    elapsed_seconds=watch.elapsed(),
-                    mean_goodness=None,
-                    evaluations=evaluations,
-                )
+            return StepOutcome(
+                cost=float(gen_best.cost),
+                candidate=gen_best,
+                # decode for observers only when someone is listening
+                payload=gen_best.to_string(l) if observers else gen_best,
             )
 
-            if (
-                cfg.stall_generations is not None
-                and stall >= cfg.stall_generations
-            ):
-                stopped_by = "stall"
-                break
+        loop: SearchLoop[Chromosome] = SearchLoop(
+            stop=cfg.stop_policy(),
+            observers=observers,
+            evaluations=lambda: service.evaluations,
+        )
+        out = loop.run(float(initial_best.cost), initial_best, step, watch=watch)
 
-        best_string = best.to_string(l)
+        best_string = out.best.to_string(l)
         return GAResult(
             best_string=best_string,
-            best_makespan=float(best.cost),
-            best_schedule=plain_schedule(sim.evaluate(best_string)),
-            trace=trace,
-            generations=generation,
-            evaluations=evaluations,
-            stopped_by=stopped_by,
+            best_makespan=float(out.best.cost),
+            best_schedule=service.schedule_of(best_string),
+            trace=out.trace,
+            generations=out.iterations,
+            evaluations=service.evaluations,
+            stopped_by=out.stopped_by,
         )
 
 
-def run_ga(workload: Workload, config: Optional[GAConfig] = None) -> GAResult:
+def run_ga(
+    workload: Workload,
+    config: Optional[GAConfig] = None,
+    observers: Sequence[Observer] = (),
+) -> GAResult:
     """Functional convenience wrapper around :class:`GeneticAlgorithm`."""
-    return GeneticAlgorithm(config).run(workload)
+    return GeneticAlgorithm(config).run(workload, observers=observers)

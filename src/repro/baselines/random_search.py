@@ -4,12 +4,19 @@ Samples independent uniformly random valid strings and keeps the best.
 Any metaheuristic worth publishing must beat this at equal evaluation
 budget; the baseline-grid benchmark includes it for exactly that check.
 
-Scoring is vectorized where the backend allows it: samples are drawn in
-the usual RNG order but scored in chunks through the network's batch
-kernel (:class:`~repro.schedule.vectorized.BatchSimulator`), which is
-several times faster than the scalar loop on the contention-free model
-and bit-identical to it.  Runs with a ``time_limit`` keep the
-sample-at-a-time loop so the deadline is still checked between samples.
+Scoring runs on the shared optim core: an
+:class:`~repro.optim.evaluation.EvaluationService` owns the backend and
+routes chunks of samples through the network's batch kernel
+(:class:`~repro.schedule.vectorized.BatchSimulator`) where one is
+registered — several times faster than the scalar loop on the
+contention-free model and bit-identical to it.  Samples are drawn in
+the usual RNG order either way, so chunking never changes the result.
+
+A ``time_limit`` no longer disables the batch kernel (historically it
+did, silently costing the whole speedup): the deadline is simply
+checked **between chunks**, so a run overshoots by at most one chunk of
+``batch_size`` samples and every drawn sample still counts toward the
+reported ``evaluations``.
 """
 
 from __future__ import annotations
@@ -19,11 +26,8 @@ from typing import Optional
 from repro.analysis.trace import ConvergenceTrace, IterationRecord
 from repro.baselines.base import BaselineResult
 from repro.model.workload import Workload
-from repro.schedule.backend import (
-    DEFAULT_NETWORK,
-    make_simulator,
-    plain_schedule,
-)
+from repro.optim import BestTracker, EvaluationService, StopPolicy
+from repro.schedule.backend import DEFAULT_NETWORK
 from repro.schedule.operations import random_valid_string
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.timers import Stopwatch
@@ -49,33 +53,36 @@ def random_search(
     seed:
         Randomness source.
     time_limit:
-        Optional wall-clock cap in seconds (checked between samples).
+        Optional wall-clock cap in seconds, checked between scoring
+        chunks (so a batched run can overshoot by at most one chunk;
+        at least one sample is always scored).
     trace:
         Optional :class:`ConvergenceTrace` to append best-so-far records
         to (for time-vs-quality comparisons).
     network:
         Simulator backend scoring the samples (and the result).
     batch_size:
-        Chunk size for vectorized scoring (>= 1).  Chunking applies only
-        on backends with a batch kernel and when no ``time_limit`` is
-        set; results are bit-identical to the scalar loop either way.
+        Chunk size for vectorized scoring (>= 1).  Chunking applies on
+        backends with a batch kernel; results are bit-identical to the
+        scalar loop either way.
     """
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     rng = as_rng(seed)
-    # only pay for kernel packing when the batch path can actually run
-    want_batch = time_limit is None and batch_size > 1
-    sim = make_simulator(workload, network, batch=want_batch)
-    use_batch = want_batch and getattr(sim, "is_vectorized", False)
+    # only pay for kernel packing when chunked scoring is requested
+    want_batch = batch_size > 1
+    service = EvaluationService(workload, network, prefer_batch=want_batch)
+    use_batch = want_batch and service.is_vectorized
+    policy = StopPolicy(max_iterations=samples, time_limit=time_limit)
     watch = Stopwatch()
 
-    best_string = None
-    best_cost = float("inf")
+    # strings are drawn fresh and never mutated — no copy on improvement
+    tracker: BestTracker = BestTracker(copy=lambda s: s)
     drawn = 0
-    while drawn < samples:
-        if time_limit is not None and watch.elapsed() >= time_limit and drawn:
+    while not policy.exhausted(drawn):
+        if policy.out_of_time(watch.elapsed()) and drawn:
             break
         if use_batch:
             # same RNG draw order as the scalar loop, scored chunk-wise
@@ -83,34 +90,32 @@ def random_search(
                 random_valid_string(workload.graph, workload.num_machines, rng)
                 for _ in range(min(batch_size, samples - drawn))
             ]
-            costs = sim.batch_string_makespans(chunk, validate=False).tolist()
+            costs = service.batch_string_makespans(chunk, validate=False)
         else:
             chunk = [
                 random_valid_string(workload.graph, workload.num_machines, rng)
             ]
-            costs = [sim.string_makespan(chunk[0])]
+            costs = [service.string_makespan(chunk[0])]
         for s, cost in zip(chunk, costs):
             drawn += 1
-            if cost < best_cost:
-                best_cost = cost
-                best_string = s
+            tracker.update(cost, s)
             if trace is not None:
                 trace.append(
                     IterationRecord(
                         iteration=drawn,
                         current_makespan=cost,
-                        best_makespan=best_cost,
+                        best_makespan=tracker.best_cost,
                         elapsed_seconds=watch.elapsed(),
                         evaluations=drawn,
                     )
                 )
 
-    assert best_string is not None  # drawn >= 1 by construction
+    best_string = tracker.best  # drawn >= 1 by construction
     return BaselineResult(
         name="random-search",
         string=best_string,
-        schedule=plain_schedule(sim.evaluate(best_string)),
-        makespan=best_cost,
+        schedule=service.schedule_of(best_string),
+        makespan=tracker.best_cost,
         evaluations=drawn,
         network=network,
     )

@@ -2,19 +2,23 @@
 
 Subcommands
 -----------
-* ``describe``  — print a workload preset's characteristics.
-* ``run``       — run one algorithm (se, ga, heft, minmin, maxmin, olb,
-  random) on a preset and print the schedule summary.
-* ``compare``   — the paper's SE-vs-GA head-to-head with an ASCII plot.
-* ``figure``    — regenerate one of the paper's figures (3a, 3b, 4a, 4b,
-  5, 6, 7) as an ASCII chart.
-* ``sweep``     — a parallel algorithms × workload-grid × seeds sweep
+* ``describe``   — print a workload preset's characteristics.
+* ``run``        — run one algorithm (se, ga, sa, tabu, heft, minmin,
+  maxmin, olb, random) on a preset and print the schedule summary.
+* ``compare``    — head-to-head of the iterative engines under one
+  wall-clock budget with an ASCII plot (``--algos se,ga,sa,tabu``;
+  defaults to the paper's SE-vs-GA pairing).
+* ``algorithms`` — list every registry algorithm with the parameter
+  names its :class:`~repro.runner.spec.AlgorithmSpec` accepts.
+* ``figure``     — regenerate one of the paper's figures (3a, 3b, 4a,
+  4b, 5, 6, 7) as an ASCII chart.
+* ``sweep``      — a parallel algorithms × workload-grid × seeds sweep
   through :mod:`repro.runner` (``--workers N``, resume via ``--cache``),
   with JSON/CSV artifacts and a league table; ``--network nic`` runs
   every algorithm against the NIC-contention backend.
-* ``export``    — write artifacts to disk: the workload as JSON, its DAG
-  as Graphviz DOT, and an SE schedule as JSON + SVG Gantt chart.
-* ``perf``      — performance tracking: ``perf check`` gates a fresh
+* ``export``     — write artifacts to disk: the workload as JSON, its
+  DAG as Graphviz DOT, and an SE schedule as JSON + SVG Gantt chart.
+* ``perf``       — performance tracking: ``perf check`` gates a fresh
   ``BENCH_micro.json`` against the committed baseline (non-zero exit on
   regression — this is CI's perf job); ``perf show`` pretty-prints a
   BENCH file.
@@ -22,11 +26,12 @@ Subcommands
 Examples::
 
     repro describe --preset fig5 --seed 7
-    repro run --algo se --preset small --seed 7 --iterations 200
-    repro compare --preset fig6 --budget 10 --seed 1
+    repro run --algo sa --preset small --seed 7 --iterations 200
+    repro compare --preset fig6 --budget 10 --seed 1 --algos se,ga,tabu
+    repro algorithms
     repro figure 3a --seed 11 --iterations 300
-    repro sweep --algos se,ga,heft --tasks 40 --machines 8 \\
-        --seeds 1,2,3 --workers 8 --cache .sweep-cache --out results
+    repro sweep --algorithms se,ga,sa,tabu,random --tasks 40 \\
+        --machines 8 --seeds 1,2,3 --workers 8 --out results
 """
 
 from __future__ import annotations
@@ -36,7 +41,7 @@ import sys
 from typing import Callable, Optional, Sequence
 
 from repro.analysis.ascii_plot import Series, line_plot
-from repro.analysis.compare import se_vs_ga
+from repro.analysis.compare import compare_named, se_vs_ga
 from repro.baselines import (
     GAConfig,
     heft,
@@ -47,6 +52,7 @@ from repro.baselines import (
     run_ga,
 )
 from repro.core import SEConfig, run_se
+from repro.optim import SAConfig, TabuConfig, run_sa, run_tabu
 from repro.model import Workload, paper_sample_workload
 from repro.schedule import Timeline, compute_metrics
 from repro.workloads import (
@@ -122,6 +128,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"GA finished: {res.generations} generations, "
             f"{res.evaluations} evaluations, stopped by {res.stopped_by}"
         )
+    elif algo == "sa":
+        # one SA iteration = one move proposal, far cheaper than one
+        # SE/GA iteration — grant 50 proposals per requested iteration
+        res = run_sa(
+            w,
+            SAConfig(
+                seed=args.seed,
+                max_iterations=args.iterations * 50,
+                time_limit=args.budget,
+                network=args.network,
+            ),
+        )
+        schedule, makespan = res.best_schedule, res.best_makespan
+        print(
+            f"SA finished: {res.iterations} proposals, "
+            f"{res.evaluations} evaluations, stopped by {res.stopped_by}"
+        )
+    elif algo == "tabu":
+        res = run_tabu(
+            w,
+            TabuConfig(
+                seed=args.seed,
+                max_iterations=args.iterations,
+                time_limit=args.budget,
+                network=args.network,
+            ),
+        )
+        schedule, makespan = res.best_schedule, res.best_makespan
+        print(
+            f"tabu finished: {res.iterations} iterations, "
+            f"{res.evaluations} evaluations, stopped by {res.stopped_by}"
+        )
     else:
         fns = {
             "heft": heft,
@@ -145,11 +183,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     w = _load_workload(args.preset, args.seed)
+    algos = [a.strip() for a in args.algos.split(",") if a.strip()]
     print(w.describe())
-    print(f"\nrunning SE and GA for {args.budget:.1f}s each ...")
-    cmp = se_vs_ga(
-        w, time_budget=args.budget, grid_points=args.points, seed=args.seed
-    )
+    names = " and ".join(a.upper() for a in algos)
+    print(f"\nrunning {names} for {args.budget:.1f}s each ...")
+    try:
+        cmp = compare_named(
+            w,
+            algos,
+            time_budget=args.budget,
+            grid_points=args.points,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"compare: {exc}")
     series = [
         Series(s.name, s.time_grid, s.best_at) for s in cmp.series
     ]
@@ -164,6 +211,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for s in cmp.series:
         print(f"{s.name}: final best = {s.final_best:.1f} ({s.iterations} iters)")
     print("winner timeline:", " ".join(str(x) for x in cmp.winner_timeline()))
+    return 0
+
+
+def _algorithms_listing() -> str:
+    """Every registry algorithm with its accepted parameter names."""
+    from repro.runner import algorithm_parameters, available_algorithms
+
+    lines = []
+    for name in available_algorithms():
+        params = algorithm_parameters(name)
+        detail = ", ".join(params) if params else "(no parameters)"
+        lines.append(f"  {name:8s} {detail}")
+    return "\n".join(lines)
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    print("registry algorithms and their AlgorithmSpec parameters:")
+    print(_algorithms_listing())
     return 0
 
 
@@ -231,13 +296,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     unknown = sorted(set(algos) - set(available_algorithms()))
     if unknown:
         raise SystemExit(
-            f"unknown algorithms {unknown}; available: "
-            f"{', '.join(available_algorithms())}"
+            f"unknown algorithms {unknown}; available (with their "
+            f"AlgorithmSpec parameters):\n{_algorithms_listing()}"
         )
 
     def algo_spec(kind: str) -> AlgorithmSpec:
         network = {"network": args.network}
-        if kind in ("se", "hybrid"):
+        if kind in ("se", "hybrid", "tabu"):
             params = {"max_iterations": args.iterations}
             if args.budget is not None:
                 params = {
@@ -245,6 +310,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "max_iterations": 10**9,
                 }
             return AlgorithmSpec.make(kind, **params, **network)
+        if kind == "sa":
+            # one SA iteration = one move proposal: grant 50 per
+            # requested iteration so budgets stay comparable
+            params = {"max_iterations": args.iterations * 50}
+            if args.budget is not None:
+                params = {
+                    "time_limit": args.budget,
+                    "max_iterations": 10**9,
+                    # bound the per-proposal trace under a time budget
+                    "record_every": 50,
+                }
+            return AlgorithmSpec.make("sa", **params, **network)
         if kind == "ga":
             params = {
                 "max_generations": args.iterations,
@@ -258,6 +335,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 }
             return AlgorithmSpec.make("ga", **params, **network)
         if kind == "random":
+            if args.budget is not None:
+                return AlgorithmSpec.make(
+                    "random",
+                    samples=10**9,
+                    time_limit=args.budget,
+                    **network,
+                )
             return AlgorithmSpec.make(
                 "random", samples=args.iterations * 10, **network
             )
@@ -394,11 +478,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--algo",
         default="se",
-        choices=["se", "ga", "heft", "minmin", "maxmin", "olb", "random"],
+        choices=[
+            "se", "ga", "sa", "tabu", "heft", "minmin", "maxmin", "olb",
+            "random",
+        ],
     )
     p.add_argument("--preset", default="small", choices=sorted(PRESETS))
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--iterations", type=int, default=200)
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=200,
+        help="iteration cap (sa gets 50 move proposals per unit)",
+    )
     p.add_argument("--budget", type=float, default=None, help="seconds")
     p.add_argument("--y", type=int, default=None, help="SE Y parameter")
     p.add_argument("--bias", type=float, default=None, help="SE selection bias B")
@@ -411,12 +503,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
     p.set_defaults(func=_cmd_run)
 
-    p = sub.add_parser("compare", help="SE vs GA under one wall-clock budget")
+    p = sub.add_parser(
+        "compare",
+        help="iterative engines head-to-head under one wall-clock budget",
+    )
     p.add_argument("--preset", default="small", choices=sorted(PRESETS))
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--budget", type=float, default=10.0, help="seconds per algorithm")
     p.add_argument("--points", type=int, default=16)
+    p.add_argument(
+        "--algos",
+        default="se,ga",
+        help="comma list of engines to race (se, ga, sa, tabu)",
+    )
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "algorithms",
+        help="list registry algorithms and their parameter names",
+    )
+    p.set_defaults(func=_cmd_algorithms)
 
     p = sub.add_parser(
         "sweep",
@@ -425,8 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--name", default="sweep", help="experiment name")
     p.add_argument(
         "--algos",
+        "--algorithms",
+        dest="algos",
         default="se,ga,heft",
-        help="comma list of registry algorithms",
+        help="comma list of registry algorithms (see `repro algorithms`)",
     )
     p.add_argument("--tasks", type=int, default=40)
     p.add_argument("--machines", type=int, default=8)
@@ -441,8 +549,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--budget", type=float, default=None,
         help=(
-            "wall-clock seconds per se/ga/hybrid run (lifts iteration "
-            "caps; deterministic heuristics and random are unaffected)"
+            "wall-clock seconds per se/ga/sa/tabu/random run (lifts "
+            "iteration/sample caps; deterministic heuristics are "
+            "unaffected)"
         ),
     )
     p.add_argument(

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Optional
 
+from repro.optim.stop import StopPolicy
 from repro.schedule.backend import DEFAULT_NETWORK
 from repro.utils.rng import RandomSource
 
@@ -158,6 +159,14 @@ class SEConfig:
             raise ValueError(
                 f"network must be a backend name string, got {self.network!r}"
             )
+
+    def stop_policy(self) -> StopPolicy:
+        """The run's stopping rules as a shared :class:`StopPolicy`."""
+        return StopPolicy(
+            max_iterations=self.max_iterations,
+            time_limit=self.time_limit,
+            stall_iterations=self.stall_iterations,
+        )
 
     def resolved_bias(self, num_tasks: int) -> float:
         """The bias actually used for a workload of *num_tasks* subtasks."""

@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.trace import ConvergenceTrace, IterationRecord
+from repro.analysis.trace import ConvergenceTrace
 from repro.core.allocation import Allocator
 from repro.core.config import SEConfig
 from repro.core.goodness import GoodnessEvaluator
@@ -35,7 +35,7 @@ from repro.core.initial import initial_solution
 from repro.core.observers import Observer
 from repro.core.selection import bias_for_target_fraction, select_subtasks
 from repro.model.workload import Workload
-from repro.schedule.backend import make_simulator, plain_schedule
+from repro.optim import EvaluationService, SearchLoop, StepOutcome
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.simulator import Schedule
 from repro.utils.rng import as_rng
@@ -109,17 +109,19 @@ class SimulatedEvolution:
         graph = workload.graph
         # The backend is the objective: "nic" makes every probe, commit
         # and best-makespan account for NIC serialisation.  With
-        # probe_evaluation="batch" it is wrapped with its batch kernel so
-        # allocation can score candidate sets in vectorized sweeps.
-        sim = make_simulator(
-            workload, cfg.network, batch=cfg.probe_evaluation == "batch"
+        # probe_evaluation="batch" the service routes candidate-set
+        # scoring through the network's batch kernel.
+        service = EvaluationService(
+            workload,
+            cfg.network,
+            prefer_batch=cfg.probe_evaluation == "batch",
         )
         goodness = GoodnessEvaluator(workload)
         bias = cfg.resolved_bias(graph.num_tasks)
         y = cfg.resolved_y(workload.num_machines)
         allocator = Allocator(
             workload,
-            sim,
+            service.backend,
             y_candidates=y,
             slots=cfg.allocation_slots,
             probes=cfg.probe_evaluation,
@@ -136,23 +138,11 @@ class SimulatedEvolution:
             string = initial.copy()
 
         watch = Stopwatch()
-        trace = ConvergenceTrace()
-        evaluations = 0
+        current = service.schedule_of(string)
+        service.count(1)  # the initial full evaluation
 
-        current = plain_schedule(sim.evaluate(string))
-        evaluations += 1
-        best_string = string.copy()
-        best_makespan = current.makespan
-        stall = 0
-        stopped_by = "iterations"
-        iteration = 0
-
-        while iteration < cfg.max_iterations:
-            if cfg.time_limit is not None and watch.elapsed() >= cfg.time_limit:
-                stopped_by = "time"
-                break
-            iteration += 1
-
+        def step(iteration: int) -> StepOutcome[ScheduleString]:
+            nonlocal bias, current
             # Evaluation (paper §4.3): Ci = finish times of current string.
             g = goodness.goodness(current.finish)
 
@@ -166,45 +156,32 @@ class SimulatedEvolution:
             # The allocator's final prepare() already evaluated the new
             # string in full, so its schedule is reused directly.
             alloc = allocator.allocate(string, selected)
-            evaluations += alloc.trials
+            service.count(alloc.trials)
             current = alloc.schedule
-            if current.makespan < best_makespan:
-                best_makespan = current.makespan
-                best_string = string.copy()
-                stall = 0
-            else:
-                stall += 1
-
-            record = IterationRecord(
-                iteration=iteration,
-                current_makespan=current.makespan,
-                best_makespan=best_makespan,
+            return StepOutcome(
+                cost=current.makespan,
+                candidate=string,
                 num_selected=len(selected),
-                elapsed_seconds=watch.elapsed(),
                 mean_goodness=float(np.mean(g)),
-                evaluations=evaluations,
             )
-            trace.append(record)
-            for obs in observers:
-                obs(record, string)
 
-            if (
-                cfg.stall_iterations is not None
-                and stall >= cfg.stall_iterations
-            ):
-                stopped_by = "stall"
-                break
+        loop: SearchLoop[ScheduleString] = SearchLoop(
+            stop=cfg.stop_policy(),
+            observers=observers,
+            evaluations=lambda: service.evaluations,
+        )
+        out = loop.run(current.makespan, string, step, watch=watch)
 
         return SEResult(
-            best_string=best_string,
-            best_makespan=best_makespan,
-            best_schedule=plain_schedule(sim.evaluate(best_string)),
-            trace=trace,
-            iterations=iteration,
-            evaluations=evaluations,
+            best_string=out.best,
+            best_makespan=out.best_cost,
+            best_schedule=service.schedule_of(out.best),
+            trace=out.trace,
+            iterations=out.iterations,
+            evaluations=service.evaluations,
             bias=bias,
             y_candidates=y,
-            stopped_by=stopped_by,
+            stopped_by=out.stopped_by,
         )
 
 

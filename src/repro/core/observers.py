@@ -1,26 +1,31 @@
-"""Observation hooks for the SE engine.
+"""Observation hooks for the iterative engines.
 
-The engine accepts any number of observers — callables invoked once per
+An engine accepts any number of observers — callables invoked once per
 iteration with an :class:`~repro.analysis.trace.IterationRecord` plus the
 live working string.  Observers power the figure benchmarks (Fig. 3a/3b
 need the per-iteration selected counts and schedule lengths) without the
 engine knowing anything about plotting.
+
+The :class:`Observer` protocol itself now lives in
+:mod:`repro.optim.observers` (every engine — SE, GA, SA, tabu — shares
+one observer bus); it is re-exported here for backwards compatibility,
+together with the concrete observers below, which work on all engines.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional
 
 from repro.analysis.trace import IterationRecord
+from repro.optim.observers import Observer
 from repro.schedule.encoding import ScheduleString
 
-
-class Observer(Protocol):
-    """Anything callable as ``observer(record, string)``."""
-
-    def __call__(
-        self, record: IterationRecord, string: ScheduleString
-    ) -> None: ...
+__all__ = [
+    "Observer",
+    "ProgressPrinter",
+    "StallDetector",
+    "StringSnapshots",
+]
 
 
 class StringSnapshots:

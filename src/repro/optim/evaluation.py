@@ -1,0 +1,200 @@
+"""The evaluation service: one object owning backend selection and cost.
+
+Before this module every engine hand-wired the scoring stack itself —
+``make_simulator(..., batch=...)``, an ``is_vectorized`` sniff, direct
+``BatchBackend`` calls, its own ``evaluations`` arithmetic.
+:class:`EvaluationService` centralises all of it:
+
+* **backend selection** — the ``network`` name resolves through
+  :func:`repro.schedule.backend.make_simulator` exactly once (with the
+  batch wrapper when ``prefer_batch`` is set), so single, delta and
+  batch scoring share one backend instance;
+* **transparent routing** — :meth:`batch_makespans` /
+  :meth:`batch_string_makespans` run the network's vectorized kernel
+  when one is registered and a sequential scalar loop otherwise;
+  :meth:`prepare` / :meth:`evaluate_delta` expose the incremental tier;
+  engines never touch ``BatchBackend`` or kernel classes directly;
+* **cost accounting** — every scoring call increments one
+  ``evaluations`` counter (full evaluation = 1, prepare = 1, delta = 1,
+  batch = one per schedule — the same arithmetic the engines used to
+  maintain by hand), read back for the per-iteration trace records.
+
+>>> from repro.workloads import small_workload
+>>> svc = EvaluationService(small_workload(seed=1))
+>>> svc.is_vectorized  # the contention-free model ships a batch kernel
+True
+>>> svc.evaluations
+0
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.model.workload import Workload
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    make_simulator,
+    plain_schedule,
+)
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.simulator import Schedule
+
+
+class EvaluationService:
+    """Schedule-cost oracle for one ``(workload, network)`` pair.
+
+    Parameters
+    ----------
+    workload:
+        The MSHC problem instance.
+    network:
+        Simulator-backend name (see :mod:`repro.schedule.backend`).
+    prefer_batch:
+        When False the batch methods still *work* but loop the scalar
+        backend, and :attr:`is_vectorized` reports False — engines with
+        a user-facing batch switch (``GAConfig.batch_fitness``) map it
+        here, so turning the switch off really disables the kernel
+        (including its packing cost) rather than merely hiding it.
+    """
+
+    __slots__ = ("_backend", "_workload", "_network", "_calls")
+
+    def __init__(
+        self,
+        workload: Workload,
+        network: str = DEFAULT_NETWORK,
+        prefer_batch: bool = True,
+    ):
+        self._workload = workload
+        self._network = network
+        self._backend = make_simulator(workload, network, batch=prefer_batch)
+        self._calls = 0
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def workload(self) -> Workload:
+        return self._workload
+
+    @property
+    def network(self) -> str:
+        return self._network
+
+    @property
+    def backend(self) -> Any:
+        """The underlying backend (for components like the SE allocator
+        that take a :class:`~repro.schedule.backend.SimulatorBackend`)."""
+        return self._backend
+
+    @property
+    def is_vectorized(self) -> bool:
+        """True when batch calls run a genuinely vectorized kernel."""
+        return bool(getattr(self._backend, "is_vectorized", False))
+
+    # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def evaluations(self) -> int:
+        """Simulator calls made through (or reported to) this service."""
+        return self._calls
+
+    def count(self, calls: int) -> None:
+        """Fold in calls a collaborator made on :attr:`backend` directly
+        (e.g. the SE allocator's probe trials)."""
+        self._calls += calls
+
+    # ------------------------------------------------------------------
+    # single-schedule tier
+    # ------------------------------------------------------------------
+
+    def makespan(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> float:
+        self._calls += 1
+        return self._backend.makespan(order, machine_of)
+
+    def string_makespan(self, string: ScheduleString) -> float:
+        self._calls += 1
+        return self._backend.string_makespan(string)
+
+    def evaluate(self, string: ScheduleString) -> Any:
+        """Full evaluation (counted); returns the backend's result."""
+        self._calls += 1
+        return self._backend.evaluate(string)
+
+    def schedule_of(self, string: ScheduleString) -> Schedule:
+        """The plain :class:`Schedule` of *string* — **not** counted.
+
+        Result assembly (re-evaluating the best string once at the end
+        of a run) was never part of any engine's ``evaluations``
+        accounting; this keeps it that way.
+        """
+        return plain_schedule(self._backend.evaluate(string))
+
+    # ------------------------------------------------------------------
+    # incremental (delta) tier
+    # ------------------------------------------------------------------
+
+    def prepare(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> Any:
+        """Snapshot *order*/*machine_of* for suffix-only re-evaluation
+        (costs — and counts as — one full evaluation)."""
+        self._calls += 1
+        return self._backend.prepare(order, machine_of)
+
+    def evaluate_delta(
+        self,
+        order: Sequence[int],
+        machine_of: Sequence[int],
+        first_changed: int,
+        state: Any,
+        cutoff: float = float("inf"),
+        region_end: Optional[int] = None,
+    ) -> float:
+        self._calls += 1
+        return self._backend.evaluate_delta(
+            order, machine_of, first_changed, state, cutoff, region_end
+        )
+
+    # ------------------------------------------------------------------
+    # batch tier
+    # ------------------------------------------------------------------
+
+    def batch_makespans(
+        self, orders: Any, machines: Any, validate: bool = True
+    ) -> list[float]:
+        """One makespan per ``(orders[i], machines[i])`` schedule.
+
+        Routed through the network's vectorized kernel when available,
+        a sequential scalar loop otherwise — bit-identical either way.
+        """
+        if hasattr(self._backend, "batch_makespans"):
+            costs = self._backend.batch_makespans(
+                orders, machines, validate=validate
+            ).tolist()
+        else:  # prefer_batch=False: plain scalar backend
+            costs = [
+                self._backend.makespan(list(o), list(m))
+                for o, m in zip(orders, machines)
+            ]
+        self._calls += len(costs)
+        return costs
+
+    def batch_string_makespans(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> list[float]:
+        """:meth:`batch_makespans` over :class:`ScheduleString` objects."""
+        if hasattr(self._backend, "batch_string_makespans"):
+            costs = self._backend.batch_string_makespans(
+                strings, validate=validate
+            ).tolist()
+        else:
+            costs = [self._backend.string_makespan(s) for s in strings]
+        self._calls += len(costs)
+        return costs

@@ -1,0 +1,45 @@
+"""The observer bus shared by every iterative engine.
+
+An observer is any callable invoked once per iteration with the fresh
+:class:`~repro.analysis.trace.IterationRecord` plus the engine's live
+working solution (the SE string, the GA generation's best chromosome
+decoded to a string, the SA/tabu working string).  The protocol is the
+historical SE one, unchanged — existing observers such as
+:class:`repro.core.observers.ProgressPrinter` work on every engine now.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.analysis.trace import IterationRecord
+from repro.schedule.encoding import ScheduleString
+
+
+class Observer(Protocol):
+    """Anything callable as ``observer(record, string)``."""
+
+    def __call__(
+        self, record: IterationRecord, string: ScheduleString
+    ) -> None: ...
+
+
+class ObserverBus:
+    """Fans one per-iteration notification out to every subscriber.
+
+    A plain loop, but owning it centrally means every engine notifies at
+    the same point of its iteration (after trace recording, before the
+    stall check) with the same ``(record, string)`` signature.
+    """
+
+    __slots__ = ("_observers",)
+
+    def __init__(self, observers: Iterable[Observer] = ()):
+        self._observers = tuple(observers)
+
+    def __len__(self) -> int:
+        return len(self._observers)
+
+    def notify(self, record: IterationRecord, string) -> None:
+        for obs in self._observers:
+            obs(record, string)

@@ -1,0 +1,49 @@
+"""The common result type of the optim-core engines (SA, tabu, ...).
+
+Mirrors :class:`repro.core.engine.SEResult` field-for-field where the
+concepts coincide, so downstream code (registry entries, the comparison
+harness, the figure benchmarks) treats every engine uniformly.  The SE
+and GA engines keep their historical result classes for compatibility;
+new engines built directly on :mod:`repro.optim` return this one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.trace import ConvergenceTrace
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.simulator import Schedule
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one optim-core engine run.
+
+    Attributes
+    ----------
+    best_string:
+        The best solution found (a copy; safe to keep).
+    best_makespan:
+        Its schedule length under the configured ``network`` backend.
+    best_schedule:
+        The fully evaluated best schedule (start/finish times).
+    trace:
+        Per-iteration convergence records.
+    iterations:
+        Iterations executed (engine-specific granularity: SA proposals,
+        tabu steps).
+    evaluations:
+        Total simulator calls (cost accounting).
+    stopped_by:
+        ``"iterations"``, ``"time"`` or ``"stall"`` — the unified
+        :mod:`repro.optim.stop` reason strings.
+    """
+
+    best_string: ScheduleString
+    best_makespan: float
+    best_schedule: Schedule
+    trace: ConvergenceTrace
+    iterations: int
+    evaluations: int
+    stopped_by: str

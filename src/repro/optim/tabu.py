@@ -1,0 +1,230 @@
+"""Tabu search over the pairwise-move neighborhood.
+
+Each iteration samples a whole candidate neighborhood — ``neighborhood_
+size`` random valid *identity-free* moves against the current string
+(no-op candidates would tie the incumbent and outrank every worsening
+move at a local optimum, see :func:`~repro.optim.neighborhood.
+random_move`) — and scores *all* candidates in one
+:meth:`~repro.optim.evaluation.EvaluationService.
+batch_string_makespans` call, which routes through the network's
+vectorized batch kernel when one is registered (the contention-free
+model) and a scalar loop otherwise.  The best **admissible** candidate
+is then committed even if it worsens the schedule (that is what lets
+tabu search climb out of local optima):
+
+* **move-attribute tabu list** — committing a move makes its subtask
+  tabu for ``tenure`` iterations: no candidate relocating or
+  reassigning that subtask is admissible while the tenure holds (this
+  blocks the trivial undo move, and near-undos, without storing whole
+  solutions);
+* **aspiration** — a tabu candidate is admissible anyway when it beats
+  the best makespan seen in the whole run (never refuse a new global
+  best);
+* **fallback** — if every candidate is tabu and none aspirates, the
+  overall best candidate is committed regardless (the search must not
+  deadlock).
+
+Stopping, best tracking, trace records and observers are the shared
+:class:`~repro.optim.loop.SearchLoop` — the engine itself is the
+``step`` closure plus the admissibility rule.
+
+>>> from repro.optim import TabuConfig, run_tabu
+>>> from repro.workloads import small_workload
+>>> w = small_workload(seed=1)
+>>> res = run_tabu(w, TabuConfig(seed=1, max_iterations=30))
+>>> res.iterations
+30
+>>> res.best_makespan == min(res.trace.best_makespans())
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.model.workload import Workload
+from repro.optim.evaluation import EvaluationService
+from repro.optim.loop import SearchLoop, StepOutcome
+from repro.optim.neighborhood import applied_copy, random_move
+from repro.optim.observers import Observer
+from repro.optim.result import SearchResult
+from repro.optim.stop import StopPolicy
+from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.operations import random_valid_string
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.timers import Stopwatch
+
+
+@dataclass
+class TabuConfig:
+    """Parameters of one :class:`TabuSearch` run.
+
+    Attributes
+    ----------
+    neighborhood_size:
+        Candidate moves sampled (and batch-scored) per iteration.
+    tenure:
+        Iterations a committed move's subtask stays tabu.
+    reassign_prob:
+        Probability that a candidate move reassigns a machine rather
+        than relocating a subtask in the string.
+    max_iterations:
+        Iteration cap — one iteration = one scored neighborhood plus
+        one committed move.
+    time_limit:
+        Optional wall-clock cap in seconds.
+    stall_iterations:
+        Stop after this many consecutive iterations without a new
+        global best (``None`` disables).
+    network:
+        Simulator backend the run optimises against.
+    seed:
+        Seed / generator for all stochastic choices.
+    """
+
+    neighborhood_size: int = 24
+    tenure: int = 8
+    reassign_prob: float = 0.5
+    max_iterations: int = 300
+    time_limit: Optional[float] = None
+    stall_iterations: Optional[int] = None
+    network: str = DEFAULT_NETWORK
+    seed: RandomSource = None
+
+    def __post_init__(self) -> None:
+        if self.neighborhood_size < 1:
+            raise ValueError(
+                f"neighborhood_size must be >= 1, got {self.neighborhood_size}"
+            )
+        if self.tenure < 0:
+            raise ValueError(f"tenure must be >= 0, got {self.tenure}")
+        if not 0.0 <= self.reassign_prob <= 1.0:
+            raise ValueError(
+                f"reassign_prob must be in [0, 1], got {self.reassign_prob}"
+            )
+        if not isinstance(self.network, str) or not self.network:
+            raise ValueError(
+                f"network must be a backend name string, got {self.network!r}"
+            )
+        StopPolicy(self.max_iterations, self.time_limit, self.stall_iterations)
+
+    def stop_policy(self) -> StopPolicy:
+        return StopPolicy(
+            max_iterations=self.max_iterations,
+            time_limit=self.time_limit,
+            stall_iterations=self.stall_iterations,
+        )
+
+
+class TabuSearch:
+    """Move-attribute tabu search configured by a :class:`TabuConfig`."""
+
+    def __init__(self, config: Optional[TabuConfig] = None):
+        self.config = config or TabuConfig()
+
+    def run(
+        self,
+        workload: Workload,
+        observers: Sequence[Observer] = (),
+        initial: Optional[ScheduleString] = None,
+    ) -> SearchResult:
+        """Optimise *workload*; see module docstring.
+
+        Parameters
+        ----------
+        workload:
+            The MSHC problem instance.
+        observers:
+            Callables invoked each iteration with ``(record, string)``.
+        initial:
+            Optional starting string (copied); defaults to a uniformly
+            random valid string.
+        """
+        cfg = self.config
+        rng = as_rng(cfg.seed)
+        graph = workload.graph
+        # whole neighborhoods score per iteration: the batch tier is the
+        # hot path, so ask for the vectorized kernel where available
+        service = EvaluationService(workload, cfg.network, prefer_batch=True)
+        watch = Stopwatch()
+
+        if initial is None:
+            string = random_valid_string(graph, workload.num_machines, rng)
+        else:
+            string = initial.copy()
+        current_cost = service.string_makespan(string)
+
+        #: task id -> last iteration on which relocating it is tabu
+        tabu_until: dict[int, int] = {}
+
+        loop: SearchLoop[ScheduleString] = SearchLoop(
+            stop=cfg.stop_policy(),
+            observers=observers,
+            evaluations=lambda: service.evaluations,
+        )
+
+        def step(iteration: int) -> StepOutcome[ScheduleString]:
+            nonlocal string, current_cost
+            # no-op candidates would cost exactly the incumbent and
+            # outrank every worsening move at a local optimum, so the
+            # neighborhood samples identity-free moves only
+            moves = [
+                random_move(
+                    string, graph, rng, cfg.reassign_prob, avoid_noop=True
+                )
+                for _ in range(cfg.neighborhood_size)
+            ]
+            # candidates are valid by construction, so skip re-validation
+            candidates = [applied_copy(string, mv) for mv in moves]
+            costs = service.batch_string_makespans(candidates, validate=False)
+
+            best_known = loop.tracker.best_cost
+            chosen = None  # (cost, index) of the best admissible move
+            fallback = None  # best overall, in case everything is tabu
+            admissible = 0
+            for i, cost in enumerate(costs):
+                if fallback is None or cost < fallback[0]:
+                    fallback = (cost, i)
+                is_tabu = tabu_until.get(moves[i].task, -1) >= iteration
+                if is_tabu and not cost < best_known:  # no aspiration
+                    continue
+                admissible += 1
+                if chosen is None or cost < chosen[0]:
+                    chosen = (cost, i)
+            if chosen is None:
+                chosen = fallback
+            cost, i = chosen
+            string = candidates[i]
+            current_cost = cost
+            tabu_until[moves[i].task] = iteration + cfg.tenure
+            return StepOutcome(
+                cost=current_cost,
+                candidate=string,
+                num_selected=admissible,
+            )
+
+        out = loop.run(current_cost, string, step, watch=watch)
+
+        return SearchResult(
+            best_string=out.best,
+            best_makespan=out.best_cost,
+            best_schedule=service.schedule_of(out.best),
+            trace=out.trace,
+            iterations=out.iterations,
+            evaluations=service.evaluations,
+            stopped_by=out.stopped_by,
+        )
+
+
+def run_tabu(
+    workload: Workload,
+    config: Optional[TabuConfig] = None,
+    observers: Sequence[Observer] = (),
+    initial: Optional[ScheduleString] = None,
+) -> SearchResult:
+    """Functional convenience wrapper around :class:`TabuSearch`."""
+    return TabuSearch(config).run(
+        workload, observers=observers, initial=initial
+    )

@@ -1,0 +1,112 @@
+"""Best-so-far tracking and trajectory recording, shared by all engines.
+
+:class:`BestTracker` owns the improvement rule every engine used to
+re-implement: a candidate replaces the incumbent only on a **strict**
+cost improvement (ties keep the old best and count toward the stall
+streak), and the stored best is a *copy* of the candidate so engines can
+keep mutating their working solution in place.
+
+:class:`TrajectoryRecorder` builds the
+:class:`~repro.analysis.trace.IterationRecord` rows of a
+:class:`~repro.analysis.trace.ConvergenceTrace` — the exact record/trace
+types the figure benchmarks and the runner already consume, so a
+refactored engine's trace is indistinguishable from the hand-rolled one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Optional, TypeVar
+
+from repro.analysis.trace import ConvergenceTrace, IterationRecord
+
+S = TypeVar("S")
+
+
+def _default_copy(candidate: Any) -> Any:
+    return candidate.copy()
+
+
+class BestTracker(Generic[S]):
+    """Tracks the best (cost, solution) pair and the stall streak.
+
+    Parameters
+    ----------
+    copy:
+        How to snapshot a candidate when it becomes the new best
+        (defaults to calling its ``.copy()``).  Engines pass their live
+        working solution each iteration; only improvements pay the copy.
+    """
+
+    __slots__ = ("_copy", "_best", "_best_cost", "_stall")
+
+    def __init__(self, copy: Callable[[S], S] = _default_copy):
+        self._copy = copy
+        self._best: Optional[S] = None
+        self._best_cost = float("inf")
+        self._stall = 0
+
+    @property
+    def best(self) -> S:
+        if self._best is None:
+            raise ValueError("tracker has no best yet; call seed() first")
+        return self._best
+
+    @property
+    def best_cost(self) -> float:
+        return self._best_cost
+
+    @property
+    def stall(self) -> int:
+        """Consecutive non-improving updates since the last improvement."""
+        return self._stall
+
+    def seed(self, cost: float, candidate: S) -> None:
+        """Install the initial solution without touching the stall count."""
+        self._best_cost = cost
+        self._best = self._copy(candidate)
+        self._stall = 0
+
+    def update(self, cost: float, candidate: S) -> bool:
+        """Offer one iteration's outcome; returns True on improvement.
+
+        Strict-less comparison: a tie is *not* an improvement (matching
+        every historical engine) and increments the stall streak.
+        """
+        if cost < self._best_cost:
+            self._best_cost = cost
+            self._best = self._copy(candidate)
+            self._stall = 0
+            return True
+        self._stall += 1
+        return False
+
+
+class TrajectoryRecorder:
+    """Accumulates per-iteration records into a :class:`ConvergenceTrace`."""
+
+    __slots__ = ("trace",)
+
+    def __init__(self) -> None:
+        self.trace = ConvergenceTrace()
+
+    def record(
+        self,
+        iteration: int,
+        current_cost: float,
+        best_cost: float,
+        elapsed_seconds: float,
+        evaluations: int,
+        num_selected: Optional[int] = None,
+        mean_goodness: Optional[float] = None,
+    ) -> IterationRecord:
+        rec = IterationRecord(
+            iteration=iteration,
+            current_makespan=current_cost,
+            best_makespan=best_cost,
+            num_selected=num_selected,
+            elapsed_seconds=elapsed_seconds,
+            mean_goodness=mean_goodness,
+            evaluations=evaluations,
+        )
+        self.trace.append(rec)
+        return rec

@@ -43,6 +43,7 @@ from repro.runner.pool import (
 from repro.runner.registry import (
     AlgorithmFn,
     CellOutcome,
+    algorithm_parameters,
     available_algorithms,
     register_algorithm,
     resolve_algorithm,
@@ -63,6 +64,7 @@ __all__ = [
     "ExperimentCell",
     "ExperimentResult",
     "ExperimentSpec",
+    "algorithm_parameters",
     "available_algorithms",
     "derive_seed",
     "merge_results",

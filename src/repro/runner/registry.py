@@ -45,17 +45,30 @@ class CellOutcome:
 #: An algorithm entry: (workload, seed, params) -> CellOutcome.
 AlgorithmFn = Callable[[Workload, int, dict], CellOutcome]
 
+#: Parameter-name source: a tuple of names, or a zero-arg callable
+#: returning one (lazy, so declaring params never imports engine code).
+ParamSource = Callable[[], tuple] | tuple
+
 _REGISTRY: Dict[str, AlgorithmFn] = {}
+_PARAMS: Dict[str, ParamSource] = {}
 
 
-def register_algorithm(name: str):
-    """Decorator registering *fn* under *name* (lowercase, unique)."""
+def register_algorithm(name: str, params: Optional[ParamSource] = None):
+    """Decorator registering *fn* under *name* (lowercase, unique).
+
+    *params* optionally declares the parameter names the entry accepts
+    in its ``params`` dict (see :func:`algorithm_parameters`) — either a
+    tuple of names or a lazy zero-arg callable returning one (e.g.
+    reading a config dataclass's fields without importing it up front).
+    """
 
     def deco(fn: AlgorithmFn) -> AlgorithmFn:
         key = name.lower()
         if key in _REGISTRY:
             raise ValueError(f"algorithm {key!r} already registered")
         _REGISTRY[key] = fn
+        if params is not None:
+            _PARAMS[key] = params
         return fn
 
     return deco
@@ -73,6 +86,54 @@ def resolve_algorithm(name: str) -> AlgorithmFn:
 
 def available_algorithms() -> List[str]:
     return sorted(_REGISTRY)
+
+
+def algorithm_parameters(name: str) -> tuple:
+    """Registry parameter names of algorithm *name* (may be empty).
+
+    These are the keys accepted in ``AlgorithmSpec.make(name, ...)`` —
+    for the engine-backed entries, the fields of the engine's config
+    dataclass.  Raises :class:`KeyError` for unknown algorithms with
+    the same message as :func:`resolve_algorithm`.
+    """
+    resolve_algorithm(name)  # uniform unknown-name error
+    source = _PARAMS.get(name.lower(), ())
+    return tuple(source() if callable(source) else source)
+
+
+def _config_fields(import_config: Callable[[], type]) -> Callable[[], tuple]:
+    """Lazy param source: the field names of a config dataclass."""
+
+    def read() -> tuple:
+        from dataclasses import fields
+
+        return tuple(f.name for f in fields(import_config()))
+
+    return read
+
+
+def _se_config() -> type:
+    from repro.core import SEConfig
+
+    return SEConfig
+
+
+def _ga_config() -> type:
+    from repro.baselines import GAConfig
+
+    return GAConfig
+
+
+def _sa_config() -> type:
+    from repro.optim import SAConfig
+
+    return SAConfig
+
+
+def _tabu_config() -> type:
+    from repro.optim import TabuConfig
+
+    return TabuConfig
 
 
 # ----------------------------------------------------------------------
@@ -97,7 +158,7 @@ def _seed_of(seed: int, params: dict) -> int:
     return params.pop("seed", seed)
 
 
-@register_algorithm("se")
+@register_algorithm("se", params=_config_fields(_se_config))
 def _run_se(workload: Workload, seed: int, params: dict) -> CellOutcome:
     from repro.core import SEConfig, SimulatedEvolution
 
@@ -118,7 +179,7 @@ def _run_se(workload: Workload, seed: int, params: dict) -> CellOutcome:
     )
 
 
-@register_algorithm("hybrid")
+@register_algorithm("hybrid", params=_config_fields(_se_config))
 def _run_hybrid(workload: Workload, seed: int, params: dict) -> CellOutcome:
     """HEFT-seeded SE (the EXT-HYBRID warm-start extension)."""
     from repro.core import SEConfig
@@ -137,7 +198,7 @@ def _run_hybrid(workload: Workload, seed: int, params: dict) -> CellOutcome:
     )
 
 
-@register_algorithm("ga")
+@register_algorithm("ga", params=_config_fields(_ga_config))
 def _run_ga(workload: Workload, seed: int, params: dict) -> CellOutcome:
     from repro.baselines import GAConfig, GeneticAlgorithm
 
@@ -173,13 +234,49 @@ def _deterministic(fn_name: str):
     return run
 
 
-register_algorithm("heft")(_deterministic("heft"))
-register_algorithm("minmin")(_deterministic("min_min"))
-register_algorithm("maxmin")(_deterministic("max_min"))
-register_algorithm("olb")(_deterministic("olb"))
+register_algorithm("heft", params=("network",))(_deterministic("heft"))
+register_algorithm("minmin", params=("network",))(_deterministic("min_min"))
+register_algorithm("maxmin", params=("network",))(_deterministic("max_min"))
+register_algorithm("olb", params=("network",))(_deterministic("olb"))
 
 
-@register_algorithm("random")
+@register_algorithm("sa", params=_config_fields(_sa_config))
+def _run_sa(workload: Workload, seed: int, params: dict) -> CellOutcome:
+    from repro.optim import SAConfig, SimulatedAnnealing
+
+    params = dict(params)
+    seed = _seed_of(seed, params)
+    res = SimulatedAnnealing(SAConfig(seed=seed, **params)).run(workload)
+    return CellOutcome(
+        makespan=res.best_makespan,
+        evaluations=res.evaluations,
+        iterations=res.iterations,
+        stopped_by=res.stopped_by,
+        trace_rows=res.trace.to_rows(),
+        extras={"best_string": _string_pairs(res.best_string)},
+    )
+
+
+@register_algorithm("tabu", params=_config_fields(_tabu_config))
+def _run_tabu(workload: Workload, seed: int, params: dict) -> CellOutcome:
+    from repro.optim import TabuConfig, TabuSearch
+
+    params = dict(params)
+    seed = _seed_of(seed, params)
+    res = TabuSearch(TabuConfig(seed=seed, **params)).run(workload)
+    return CellOutcome(
+        makespan=res.best_makespan,
+        evaluations=res.evaluations,
+        iterations=res.iterations,
+        stopped_by=res.stopped_by,
+        trace_rows=res.trace.to_rows(),
+        extras={"best_string": _string_pairs(res.best_string)},
+    )
+
+
+@register_algorithm(
+    "random", params=("samples", "batch_size", "time_limit", "network", "seed")
+)
 def _run_random(workload: Workload, seed: int, params: dict) -> CellOutcome:
     from repro.baselines import random_search
 
@@ -189,6 +286,7 @@ def _run_random(workload: Workload, seed: int, params: dict) -> CellOutcome:
         workload,
         samples=params.get("samples", 1000),
         seed=seed,
+        time_limit=params.get("time_limit"),
         network=params.get("network", DEFAULT_NETWORK),
         batch_size=params.get("batch_size", 128),
     )

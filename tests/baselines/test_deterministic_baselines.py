@@ -238,3 +238,60 @@ class TestIncrementalBuilder:
         res = b.to_result()
         assert isinstance(res, BaselineResult)
         verify_schedule(diamond_workload, res.schedule)
+
+
+class TestRandomSearchBatchDeadline:
+    """PR-4 satellite: a ``time_limit`` used to silently disable the
+    batch kernel (and its several-fold speedup).  Chunked scoring now
+    stays on, with the deadline checked between chunks."""
+
+    def test_time_limit_keeps_batch_kernel(self, tiny_workload, monkeypatch):
+        from repro.optim import EvaluationService
+
+        calls = {"n": 0}
+        original = EvaluationService.batch_string_makespans
+
+        def spy(self, strings, validate=True):
+            calls["n"] += 1
+            return original(self, strings, validate=validate)
+
+        monkeypatch.setattr(
+            EvaluationService, "batch_string_makespans", spy
+        )
+        res = random_search(
+            tiny_workload, samples=64, seed=3, time_limit=60.0, batch_size=16
+        )
+        assert calls["n"] == 4  # 64 samples scored in 4 chunks of 16
+        assert res.evaluations == 64
+
+    def test_time_limited_run_bit_identical_to_unlimited(self, tiny_workload):
+        """With a generous deadline the sample cap binds, and results
+        must equal the historical no-time-limit batched run exactly."""
+        limited = random_search(
+            tiny_workload, samples=50, seed=9, time_limit=600.0
+        )
+        unlimited = random_search(tiny_workload, samples=50, seed=9)
+        assert limited.makespan == unlimited.makespan
+        assert limited.string == unlimited.string
+        assert limited.evaluations == unlimited.evaluations == 50
+
+    def test_deadline_checked_between_chunks(self, tiny_workload):
+        """An expired deadline stops the run at chunk granularity, and
+        every scored sample counts toward the reported draw count."""
+        res = random_search(
+            tiny_workload,
+            samples=10**8,
+            seed=1,
+            time_limit=0.05,
+            batch_size=32,
+        )
+        assert 1 <= res.evaluations < 10**8
+        assert res.evaluations % 32 == 0  # whole chunks only
+
+    def test_scalar_chunks_preserve_per_sample_deadline(self, tiny_workload):
+        """batch_size=1 keeps the historical sample-at-a-time check."""
+        res = random_search(
+            tiny_workload, samples=10**8, seed=1, time_limit=0.05,
+            batch_size=1,
+        )
+        assert 1 <= res.evaluations < 10**8

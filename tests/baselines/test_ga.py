@@ -280,3 +280,74 @@ class TestBatchFitness:
         scalar = run_ga(tiny_workload, GAConfig(batch_fitness=False, **cfg))
         assert batch.best_makespan == scalar.best_makespan
         assert batch.best_string == scalar.best_string
+
+
+class TestObservers:
+    """The GA observer hooks (ISSUE-4 satellite): same protocol as SE."""
+
+    def test_observer_sees_every_generation(self, tiny_workload):
+        records = []
+        run_ga(
+            tiny_workload,
+            GAConfig(
+                seed=1,
+                population_size=6,
+                max_generations=9,
+                stall_generations=None,
+            ),
+            observers=[lambda rec, s: records.append((rec, s))],
+        )
+        assert [r.iteration for r, _ in records] == list(range(1, 10))
+
+    def test_observer_string_is_generation_best(self, tiny_workload):
+        sim = Simulator(tiny_workload)
+        seen = []
+
+        def check(rec, string):
+            assert is_valid_for(string, tiny_workload.graph)
+            assert sim.string_makespan(string) == rec.current_makespan
+            seen.append(rec.iteration)
+
+        run_ga(
+            tiny_workload,
+            GAConfig(
+                seed=2,
+                population_size=6,
+                max_generations=5,
+                stall_generations=None,
+            ),
+            observers=[check],
+        )
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_existing_se_observers_work_on_ga(self, tiny_workload):
+        from repro.core.observers import StallDetector
+
+        det = StallDetector()
+        run_ga(
+            tiny_workload,
+            GAConfig(
+                seed=1,
+                population_size=6,
+                max_generations=8,
+                stall_generations=None,
+            ),
+            observers=[det],
+        )
+        assert det.longest_streak >= det.current_streak >= 0
+
+    def test_observers_do_not_change_the_run(self, tiny_workload):
+        cfg = dict(
+            seed=7, population_size=6, max_generations=6,
+            stall_generations=None,
+        )
+        plain = run_ga(tiny_workload, GAConfig(**cfg))
+        observed = run_ga(
+            tiny_workload, GAConfig(**cfg), observers=[lambda rec, s: None]
+        )
+        assert plain.best_makespan == observed.best_makespan
+        assert plain.best_string == observed.best_string
+        assert (
+            plain.trace.current_makespans()
+            == observed.trace.current_makespans()
+        )

@@ -1,0 +1,192 @@
+"""Behavioural tests for the simulated-annealing engine."""
+
+import pytest
+
+from repro.optim import SAConfig, run_sa
+from repro.schedule import Simulator, is_valid_for, verify_schedule
+from repro.schedule.operations import random_valid_string
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs,field",
+        [
+            ({"initial_temp": 0.0}, "initial_temp"),
+            ({"cooling": 0.0}, "cooling"),
+            ({"cooling": 1.5}, "cooling"),
+            ({"steps_per_temp": 0}, "steps_per_temp"),
+            ({"min_temp_factor": 0.0}, "min_temp_factor"),
+            ({"reassign_prob": 1.5}, "reassign_prob"),
+            ({"max_iterations": -1}, "max_iterations"),
+            ({"time_limit": -1.0}, "time_limit"),
+            ({"stall_iterations": 0}, "stall_iterations"),
+            ({"network": ""}, "network"),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs, field):
+        with pytest.raises(ValueError, match=field):
+            SAConfig(**kwargs)
+
+
+class TestBasicRun:
+    def test_valid_verified_best(self, tiny_workload):
+        res = run_sa(tiny_workload, SAConfig(seed=1, max_iterations=150))
+        assert is_valid_for(res.best_string, tiny_workload.graph)
+        verify_schedule(tiny_workload, res.best_schedule)
+        assert res.best_makespan == pytest.approx(
+            Simulator(tiny_workload).string_makespan(res.best_string)
+        )
+
+    def test_trace_and_counters(self, tiny_workload):
+        res = run_sa(tiny_workload, SAConfig(seed=1, max_iterations=80))
+        assert res.iterations == 80
+        assert len(res.trace) == 80
+        assert res.stopped_by == "iterations"
+        # 1 initial prepare + >= 1 delta per proposal
+        assert res.evaluations >= 81
+        best = res.trace.best_makespans()
+        assert all(b2 <= b1 + 1e-9 for b1, b2 in zip(best, best[1:]))
+        assert res.best_makespan == min(best)
+
+    def test_deterministic_per_seed(self, tiny_workload):
+        a = run_sa(tiny_workload, SAConfig(seed=9, max_iterations=120))
+        b = run_sa(tiny_workload, SAConfig(seed=9, max_iterations=120))
+        assert a.best_makespan == b.best_makespan
+        assert a.best_string == b.best_string
+        assert a.trace.current_makespans() == b.trace.current_makespans()
+
+    def test_different_seeds_differ(self, tiny_workload):
+        a = run_sa(tiny_workload, SAConfig(seed=1, max_iterations=120))
+        b = run_sa(tiny_workload, SAConfig(seed=2, max_iterations=120))
+        assert (
+            a.trace.current_makespans() != b.trace.current_makespans()
+            or a.best_string != b.best_string
+        )
+
+    def test_improves_over_initial(self, tiny_workload):
+        init = random_valid_string(
+            tiny_workload.graph, tiny_workload.num_machines, 77
+        )
+        start = Simulator(tiny_workload).string_makespan(init)
+        res = run_sa(
+            tiny_workload, SAConfig(seed=1, max_iterations=400), initial=init
+        )
+        assert res.best_makespan <= start
+
+    def test_initial_not_mutated(self, tiny_workload):
+        init = random_valid_string(
+            tiny_workload.graph, tiny_workload.num_machines, 77
+        )
+        before = init.pairs()
+        run_sa(
+            tiny_workload, SAConfig(seed=1, max_iterations=50), initial=init
+        )
+        assert init.pairs() == before
+
+    def test_zero_iterations(self, tiny_workload):
+        res = run_sa(tiny_workload, SAConfig(seed=1, max_iterations=0))
+        assert res.iterations == 0 and len(res.trace) == 0
+        assert is_valid_for(res.best_string, tiny_workload.graph)
+
+
+class TestStopping:
+    def test_stops_by_time(self, tiny_workload):
+        res = run_sa(
+            tiny_workload,
+            SAConfig(seed=1, max_iterations=10**8, time_limit=0.05),
+        )
+        assert res.stopped_by == "time"
+        assert res.iterations < 10**8
+
+    def test_stops_by_stall(self, tiny_workload):
+        res = run_sa(
+            tiny_workload,
+            SAConfig(seed=1, max_iterations=10**6, stall_iterations=25),
+        )
+        assert res.stopped_by == "stall"
+
+
+class TestNicBackend:
+    def test_optimises_under_nic(self, tiny_workload):
+        from repro.extensions.contention import ContentionSimulator
+
+        res = run_sa(
+            tiny_workload,
+            SAConfig(seed=3, max_iterations=100, network="nic"),
+        )
+        assert res.best_makespan == pytest.approx(
+            ContentionSimulator(tiny_workload).string_makespan(
+                res.best_string
+            )
+        )
+
+
+class TestObservers:
+    def test_observer_sees_every_proposal(self, tiny_workload):
+        records = []
+        run_sa(
+            tiny_workload,
+            SAConfig(seed=1, max_iterations=25),
+            observers=[lambda rec, s: records.append(rec)],
+        )
+        assert [r.iteration for r in records] == list(range(1, 26))
+
+    def test_acceptance_flag_in_num_selected(self, tiny_workload):
+        res = run_sa(tiny_workload, SAConfig(seed=1, max_iterations=60))
+        assert set(res.trace.selected_counts()) <= {0, 1}
+        # a fresh random start at warm temperature must accept something
+        assert sum(res.trace.selected_counts()) > 0
+
+
+class TestCooling:
+    def test_colder_final_temperature_with_faster_cooling(self, tiny_workload):
+        """Aggressive cooling accepts fewer uphill moves overall."""
+        slow = run_sa(
+            tiny_workload,
+            SAConfig(
+                seed=5, max_iterations=300, cooling=0.99, steps_per_temp=10
+            ),
+        )
+        fast = run_sa(
+            tiny_workload,
+            SAConfig(
+                seed=5, max_iterations=300, cooling=0.5, steps_per_temp=10
+            ),
+        )
+        assert sum(fast.trace.selected_counts()) <= sum(
+            slow.trace.selected_counts()
+        )
+
+
+class TestRecordEvery:
+    def test_stride_thins_trace_but_keeps_improvements(self, tiny_workload):
+        full = run_sa(tiny_workload, SAConfig(seed=3, max_iterations=200))
+        thin = run_sa(
+            tiny_workload,
+            SAConfig(seed=3, max_iterations=200, record_every=25),
+        )
+        # identical search (recording is observation-only)...
+        assert thin.best_makespan == full.best_makespan
+        assert thin.best_string == full.best_string
+        assert thin.evaluations == full.evaluations
+        # ...with a much smaller trace that still pins the best curve
+        assert len(thin.trace) < len(full.trace)
+        assert min(thin.trace.best_makespans()) == thin.best_makespan
+        # every stride multiple is present (improvements ride along)
+        strided = {r.iteration for r in thin.trace.records}
+        assert {25, 50, 75, 100, 125, 150, 175, 200} <= strided
+
+    def test_observers_fire_only_on_recorded_proposals(self, tiny_workload):
+        records = []
+        res = run_sa(
+            tiny_workload,
+            SAConfig(seed=3, max_iterations=100, record_every=20),
+            observers=[lambda rec, s: records.append(rec.iteration)],
+        )
+        assert records == [r.iteration for r in res.trace.records]
+
+    def test_invalid_stride_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="record_every"):
+            SAConfig(record_every=0)

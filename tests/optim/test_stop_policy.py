@@ -1,0 +1,210 @@
+"""StopPolicy edge cases and the unified stop-reason contract.
+
+Covers the ISSUE-4 satellite list: ``stall_iterations=1``, simultaneous
+time/iteration/stall triggers (the check order is part of the
+contract), and SE/GA reporting the *same* reason strings through the
+shared policy.
+"""
+
+import pytest
+
+from repro.baselines import GAConfig, GeneticAlgorithm
+from repro.core import SEConfig, SimulatedEvolution
+from repro.optim import (
+    STOP_ITERATIONS,
+    STOP_STALL,
+    STOP_TIME,
+    SearchLoop,
+    StepOutcome,
+    StopPolicy,
+)
+
+
+class _Counter:
+    """A trivial step: constant cost (so nothing ever improves)."""
+
+    def __init__(self, cost=5.0):
+        self.calls = 0
+        self.cost = cost
+
+    def __call__(self, iteration):
+        self.calls += 1
+        return StepOutcome(cost=self.cost, candidate=FakeSolution())
+
+
+class FakeSolution:
+    def copy(self):
+        return self
+
+
+def run_loop(policy, step=None, initial_cost=10.0):
+    step = step or _Counter()
+    loop = SearchLoop(stop=policy)
+    return loop.run(initial_cost, FakeSolution(), step), step
+
+
+class TestValidation:
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            StopPolicy(max_iterations=-1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time_limit"):
+            StopPolicy(max_iterations=1, time_limit=-0.5)
+
+    def test_zero_stall_rejected(self):
+        with pytest.raises(ValueError, match="stall_iterations"):
+            StopPolicy(max_iterations=1, stall_iterations=0)
+
+
+class TestStallEdgeCases:
+    def test_stall_one_stops_at_first_non_improving_iteration(self):
+        out, step = run_loop(
+            StopPolicy(max_iterations=100, stall_iterations=1)
+        )
+        # cost 5 < initial 10 improves on iteration 1; iteration 2 is
+        # the first non-improvement and must be the last
+        assert out.iterations == 2
+        assert out.stopped_by == STOP_STALL
+        assert step.calls == 2
+
+    def test_stall_one_with_improving_steps_never_stalls(self):
+        costs = iter(range(100, 0, -1))
+
+        def improving(iteration):
+            return StepOutcome(cost=float(next(costs)), candidate=FakeSolution())
+
+        out, _ = run_loop(
+            StopPolicy(max_iterations=10, stall_iterations=1),
+            step=improving,
+            initial_cost=1000.0,
+        )
+        assert out.iterations == 10
+        assert out.stopped_by == STOP_ITERATIONS
+
+    def test_stall_counts_only_consecutive_misses(self):
+        # improve on every 3rd iteration: stall streak never reaches 3
+        state = {"best": 1000.0, "i": 0}
+
+        def sometimes(iteration):
+            state["i"] += 1
+            if state["i"] % 3 == 0:
+                state["best"] -= 1.0
+                return StepOutcome(cost=state["best"], candidate=FakeSolution())
+            return StepOutcome(cost=state["best"] + 50, candidate=FakeSolution())
+
+        out, _ = run_loop(
+            StopPolicy(max_iterations=12, stall_iterations=3),
+            step=sometimes,
+            initial_cost=2000.0,
+        )
+        assert out.stopped_by == STOP_ITERATIONS
+        assert out.iterations == 12
+
+
+class TestSimultaneousTriggers:
+    def test_iteration_cap_wins_when_last_iteration_outruns_clock(self):
+        """Cap exhausted AND clock expired -> "iterations".
+
+        The clock is only consulted at the *top* of an iteration, so a
+        run whose final allowed iteration overruns the time limit still
+        reports the cap — pinning the historical SE/GA behaviour.
+        """
+        import time
+
+        def slow(iteration):
+            time.sleep(0.08)
+            return StepOutcome(cost=5.0, candidate=FakeSolution())
+
+        out, _ = run_loop(
+            StopPolicy(max_iterations=1, time_limit=0.04), step=slow
+        )
+        assert out.iterations == 1
+        assert out.stopped_by == STOP_ITERATIONS
+
+    def test_expired_clock_wins_mid_run(self):
+        out, step = run_loop(StopPolicy(max_iterations=100, time_limit=0.0))
+        # time_limit=0 expires before iteration 1 even starts
+        assert out.iterations == 0
+        assert step.calls == 0
+        assert out.stopped_by == STOP_TIME
+
+    def test_stall_wins_over_clock_on_same_iteration(self):
+        """Stall trips at the bottom of the iteration that also used up
+        the clock: the stall check runs first (the next top-of-loop time
+        check is never reached)."""
+        out, _ = run_loop(
+            StopPolicy(
+                max_iterations=100, time_limit=1e9, stall_iterations=1
+            )
+        )
+        assert out.stopped_by == STOP_STALL
+
+    def test_stall_and_cap_on_final_iteration_reports_stall(self):
+        # 2 iterations allowed; iteration 2 is both the cap and the
+        # first stall -> the bottom-of-loop stall check fires first
+        out, _ = run_loop(StopPolicy(max_iterations=2, stall_iterations=1))
+        assert out.iterations == 2
+        assert out.stopped_by == STOP_STALL
+
+    def test_zero_iterations_reports_iterations(self):
+        out, step = run_loop(StopPolicy(max_iterations=0, time_limit=0.0))
+        assert out.iterations == 0
+        assert step.calls == 0
+        assert out.stopped_by == STOP_ITERATIONS
+
+
+class TestEnginesShareReasonStrings:
+    """SE and GA must report identical strings for identical causes."""
+
+    def test_cap_exhaustion_says_iterations_everywhere(self, tiny_workload):
+        se = SimulatedEvolution(SEConfig(seed=1, max_iterations=3)).run(
+            tiny_workload
+        )
+        ga = GeneticAlgorithm(
+            GAConfig(
+                seed=1,
+                population_size=4,
+                max_generations=3,
+                stall_generations=None,
+            )
+        ).run(tiny_workload)
+        assert se.stopped_by == ga.stopped_by == STOP_ITERATIONS
+
+    def test_stall_says_stall_everywhere(self, tiny_workload):
+        se = SimulatedEvolution(
+            SEConfig(seed=1, max_iterations=10**4, stall_iterations=2)
+        ).run(tiny_workload)
+        ga = GeneticAlgorithm(
+            GAConfig(
+                seed=1,
+                population_size=4,
+                max_generations=10**4,
+                stall_generations=2,
+            )
+        ).run(tiny_workload)
+        assert se.stopped_by == ga.stopped_by == STOP_STALL
+
+    def test_time_says_time_everywhere(self, tiny_workload):
+        se = SimulatedEvolution(
+            SEConfig(seed=1, max_iterations=10**8, time_limit=0.05)
+        ).run(tiny_workload)
+        ga = GeneticAlgorithm(
+            GAConfig(
+                seed=1,
+                population_size=4,
+                max_generations=10**8,
+                stall_generations=None,
+                time_limit=0.05,
+            )
+        ).run(tiny_workload)
+        assert se.stopped_by == ga.stopped_by == STOP_TIME
+
+    def test_config_policies_agree(self):
+        se_policy = SEConfig(
+            max_iterations=7, time_limit=1.5, stall_iterations=3
+        ).stop_policy()
+        ga_policy = GAConfig(
+            max_generations=7, time_limit=1.5, stall_generations=3
+        ).stop_policy()
+        assert se_policy == ga_policy

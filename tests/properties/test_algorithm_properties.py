@@ -129,3 +129,41 @@ def test_se_deterministic_under_seed(w, seed):
     b = SimulatedEvolution(SEConfig(seed=seed, max_iterations=3)).run(w)
     assert a.best_makespan == b.best_makespan
     assert a.best_string == b.best_string
+
+
+@slow
+@given(workloads(), st.integers(0, 2**16))
+def test_sa_produces_valid_verified_best(w, seed):
+    from repro.optim import SAConfig, SimulatedAnnealing
+
+    res = SimulatedAnnealing(SAConfig(seed=seed, max_iterations=20)).run(w)
+    assert is_valid_for(res.best_string, w.graph)
+    verify_schedule(w, res.best_schedule)
+    assert res.best_makespan <= min(res.trace.current_makespans()) + 1e-9
+
+
+@slow
+@given(workloads(), st.integers(0, 2**16))
+def test_tabu_produces_valid_verified_best(w, seed):
+    from repro.optim import TabuConfig, TabuSearch
+
+    cfg = TabuConfig(seed=seed, max_iterations=4, neighborhood_size=6)
+    res = TabuSearch(cfg).run(w)
+    assert is_valid_for(res.best_string, w.graph)
+    verify_schedule(w, res.best_schedule)
+
+
+@slow
+@given(workloads(), st.integers(0, 2**16))
+def test_sa_and_tabu_deterministic_under_seed(w, seed):
+    from repro.optim import SAConfig, SimulatedAnnealing, TabuConfig, TabuSearch
+
+    a = SimulatedAnnealing(SAConfig(seed=seed, max_iterations=15)).run(w)
+    b = SimulatedAnnealing(SAConfig(seed=seed, max_iterations=15)).run(w)
+    assert a.best_makespan == b.best_makespan
+    assert a.best_string == b.best_string
+    cfg = TabuConfig(seed=seed, max_iterations=3, neighborhood_size=5)
+    ta = TabuSearch(cfg).run(w)
+    tb = TabuSearch(cfg).run(w)
+    assert ta.best_makespan == tb.best_makespan
+    assert ta.best_string == tb.best_string

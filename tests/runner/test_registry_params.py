@@ -127,3 +127,58 @@ class TestNetworkFlow:
         plain = one_cell(AlgorithmSpec.make("heft"))
         nic = one_cell(AlgorithmSpec.make("heft", network="nic"))
         assert plain.fingerprint() != nic.fingerprint()
+
+
+class TestNewEngineEntries:
+    @pytest.mark.parametrize("kind", ["sa", "tabu"])
+    def test_runs_through_run_cell(self, kind):
+        res = run_cell(
+            one_cell(AlgorithmSpec.make(kind, max_iterations=5, seed=3))
+        )
+        assert res.makespan > 0
+        assert res.iterations == 5
+        assert res.stopped_by == "iterations"
+
+    @pytest.mark.parametrize("kind", ["sa", "tabu"])
+    def test_nic_network_measured(self, kind):
+        w = build_workload(WORKLOADS[0])
+        res = run_cell(
+            one_cell(
+                AlgorithmSpec.make(kind, max_iterations=4, network="nic")
+            )
+        )
+        assert res.network == "nic"
+        doc = res.extras["best_string"]
+        s = ScheduleString(doc["order"], doc["machines"], w.num_machines)
+        assert res.makespan == ContentionSimulator(w).string_makespan(s)
+
+    def test_deterministic_for_fixed_cell_seed(self):
+        cell = one_cell(AlgorithmSpec.make("sa", max_iterations=20, seed=5))
+        assert run_cell(cell).makespan == run_cell(cell).makespan
+
+
+class TestAlgorithmParameters:
+    def test_engine_params_are_config_fields(self):
+        from dataclasses import fields
+
+        from repro.optim import SAConfig, TabuConfig
+        from repro.runner import algorithm_parameters
+
+        assert algorithm_parameters("sa") == tuple(
+            f.name for f in fields(SAConfig)
+        )
+        assert algorithm_parameters("tabu") == tuple(
+            f.name for f in fields(TabuConfig)
+        )
+
+    def test_deterministic_baselines_expose_network(self):
+        from repro.runner import algorithm_parameters
+
+        for kind in ("heft", "minmin", "maxmin", "olb"):
+            assert algorithm_parameters(kind) == ("network",)
+
+    def test_unknown_name_raises_like_resolve(self):
+        from repro.runner import algorithm_parameters
+
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            algorithm_parameters("bogus")

@@ -179,3 +179,104 @@ class TestSweep:
     def test_sweep_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit, match="unknown algorithms"):
             main(["sweep", "--algos", "bogus"])
+
+
+class TestNewEngines:
+    def test_sa_run(self, capsys):
+        rc = main(
+            ["run", "--algo", "sa", "--preset", "small", "--seed", "1",
+             "--iterations", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SA finished" in out and "makespan" in out
+
+    def test_tabu_run(self, capsys):
+        rc = main(
+            ["run", "--algo", "tabu", "--preset", "small", "--seed", "1",
+             "--iterations", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tabu finished" in out and "makespan" in out
+
+    def test_sa_under_nic(self, capsys):
+        rc = main(
+            ["run", "--algo", "sa", "--preset", "small", "--seed", "1",
+             "--iterations", "2", "--network", "nic"]
+        )
+        assert rc == 0
+        assert "makespan (nic)" in capsys.readouterr().out
+
+
+class TestAlgorithmsCommand:
+    def test_lists_every_registry_algorithm(self, capsys):
+        from repro.runner import available_algorithms
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in available_algorithms():
+            assert name in out
+
+    def test_lists_parameter_names(self, capsys):
+        main(["algorithms"])
+        out = capsys.readouterr().out
+        assert "max_iterations" in out        # se / sa / tabu
+        assert "stall_generations" in out     # ga
+        assert "neighborhood_size" in out     # tabu
+        assert "cooling" in out               # sa
+        assert "batch_size" in out            # random
+
+    def test_sweep_unknown_algorithm_error_lists_parameters(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--algos", "bogus"])
+        msg = str(exc.value)
+        assert "unknown algorithms" in msg
+        assert "tabu" in msg and "neighborhood_size" in msg
+
+
+class TestSweepNewEngines:
+    def test_five_algorithm_sweep(self, tmp_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--name", "five",
+                "--algorithms", "se,ga,sa,tabu,random",
+                "--tasks", "10",
+                "--machines", "2",
+                "--connectivities", "low",
+                "--heterogeneities", "low",
+                "--ccrs", "0.5",
+                "--iterations", "5",
+                "--quiet",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "league" in out
+        for algo in ("se", "ga", "sa", "tabu", "random"):
+            assert algo in out
+        import json
+
+        doc = json.loads((tmp_path / "five.json").read_text())
+        assert {c["algorithm"] for c in doc["cells"]} == {
+            "se", "ga", "sa", "tabu", "random",
+        }
+
+
+class TestCompareAlgos:
+    def test_compare_sa_vs_tabu(self, capsys):
+        rc = main(
+            ["compare", "--preset", "small", "--seed", "1",
+             "--budget", "0.2", "--points", "3", "--algos", "sa,tabu"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SA" in out and "TABU" in out
+        assert "winner timeline" in out
+
+    def test_compare_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit, match="unknown comparison"):
+            main(["compare", "--preset", "small", "--budget", "0.1",
+                  "--algos", "bogus"])
