@@ -5,14 +5,22 @@ whole batch of schedules in NumPy sweeps instead of per-schedule Python
 loops.  These benches measure, at paper scale (100 tasks, 20 machines),
 exactly the call patterns the engines use:
 
-* MICRO-BATCH-GA    — one GA generation's population fitness (the
+* MICRO-BATCH-GA     — one GA generation's population fitness (the
   headline number: batch vs the scalar loop, population 128);
-* MICRO-BATCH-SCALE — the same at population 16 / 64 / 256;
-* MICRO-BATCH-RAND  — random search with chunked batch scoring;
-* MICRO-BATCH-SE    — the SE allocation probe stream, batch vs the
+* MICRO-BATCH-SCALE  — the same at population 16 / 64 / 256;
+* MICRO-BATCH-RAND   — random search with chunked batch scoring;
+* MICRO-BATCH-SE     — the SE allocation probe stream, batch vs the
   scalar full loop and vs the default incremental-delta path (delta's
   branch-and-bound cutoff usually keeps it ahead — which is why it
-  stays the SE default; this bench keeps the trade-off measured).
+  stays the SE default; this bench keeps the trade-off measured);
+* MICRO-BATCH-NIC    — the same question under NIC contention: a batch
+  of 128 schedules through the vectorized
+  :class:`~repro.schedule.vectorized_contention.
+  ContentionBatchSimulator` vs the scalar ``ContentionSimulator`` loop
+  (the configuration that used to silently fall back to the loop);
+* MICRO-BATCH-NIC-GA — one GA generation's population fitness under
+  ``network="nic"``, exactly the call the GA engine now routes through
+  the NIC kernel.
 
 Every case first asserts the two strategies agree bit-for-bit, then
 records best-of wall-clock ratios both as human-readable artifacts and
@@ -34,6 +42,7 @@ from repro.schedule.operations import random_valid_string
 from repro.schedule.simulator import Simulator
 from repro.schedule.valid_range import machine_slot_indices
 from repro.schedule.vectorized import BatchSimulator
+from repro.schedule.vectorized_contention import ContentionBatchSimulator
 from repro.utils.rng import as_rng
 from repro.workloads import figure5_workload
 
@@ -65,16 +74,16 @@ def _population(workload, size, seed=7):
     )
 
 
-def _ga_eval_times(workload, population):
+def _population_eval_times(sim, kernel, population):
     """(scalar, batch) best-of times for one population evaluation.
 
     Both callables are exactly what the GA engine runs per generation:
-    the scalar loop calls ``Simulator.makespan`` per chromosome; the
-    batch path hands the raw chromosome lists to the kernel (list ->
-    array conversion and validation are part of the measured cost).
+    the scalar loop calls the simulator's ``makespan`` per chromosome;
+    the batch path hands the raw chromosome lists to the kernel (list
+    -> array conversion and validation are part of the measured cost).
+    Works for any (scalar backend, batch kernel) pair whose results are
+    bit-identical — asserted before timing.
     """
-    sim = Simulator(workload)
-    kernel = BatchSimulator(workload)
 
     def scalar():
         return [sim.makespan(c.scheduling, c.matching) for c in population]
@@ -87,6 +96,13 @@ def _ga_eval_times(workload, population):
 
     assert scalar() == batch().tolist()  # bit-identical fitness
     return best_of(scalar), best_of(batch)
+
+
+def _ga_eval_times(workload, population):
+    """Contention-free (scalar, batch) times for one population eval."""
+    return _population_eval_times(
+        Simulator(workload), BatchSimulator(workload), population
+    )
 
 
 def test_micro_batch_ga_population(write_output, perf_log):
@@ -288,19 +304,89 @@ def test_micro_batch_se_probe_stream(write_output, perf_log):
     assert batch_speedup >= 1.0  # loose floor; measured value recorded
 
 
-def test_micro_batch_nic_fallback_parity():
-    """`make_simulator(..., "nic", batch=True)` loops the scalar backend.
+def test_micro_batch_nic_kernel(write_output, perf_log):
+    """MICRO-BATCH-NIC: batch-vs-scalar makespan throughput under "nic".
 
-    The fallback has no speedup to record — this only pins the parity
-    contract the engines rely on when batch flags stay on under "nic".
+    The acceptance number of the vectorized-contention tentpole: 128
+    schedules scored through the NIC kernel vs the scalar
+    ``ContentionSimulator`` loop (which is all ``batch=True`` under
+    "nic" used to give you).  Bit-identity is asserted before timing.
     """
     w = paper_scale_workload()
+    size = 128
     wrapped = make_simulator(w, "nic", batch=True)
-    assert not wrapped.is_vectorized
+    assert wrapped.is_vectorized  # the silent fallback era is over
     scalar = ContentionSimulator(w)
     strings = [
         random_valid_string(w.graph, w.num_machines, seed)
-        for seed in range(8)
+        for seed in range(size)
     ]
-    got = wrapped.batch_string_makespans(strings)
-    assert got.tolist() == [scalar.string_makespan(x) for x in strings]
+
+    def scalar_loop():
+        return [scalar.string_makespan(s) for s in strings]
+
+    def batch():
+        return wrapped.batch_string_makespans(strings)
+
+    assert scalar_loop() == batch().tolist()  # bit-identical makespans
+    t_scalar, t_batch = best_of(scalar_loop), best_of(batch)
+    speedup = t_scalar / t_batch
+
+    perf_log("MICRO-BATCH-NIC", "speedup", round(speedup, 3), "x")
+    perf_log(
+        "MICRO-BATCH-NIC",
+        "scalar_per_eval",
+        round(t_scalar / size * 1e6, 2),
+        "us",
+    )
+    perf_log(
+        "MICRO-BATCH-NIC",
+        "batch_per_eval",
+        round(t_batch / size * 1e6, 2),
+        "us",
+    )
+    write_output(
+        "micro_batch_nic_kernel",
+        "MICRO-BATCH-NIC — NIC-contention makespans: scalar loop vs "
+        "batch kernel\n\n"
+        f"batch of {size} schedules at paper scale ({w.num_tasks} tasks, "
+        f"{w.num_machines} machines)\n"
+        f"scalar : {t_scalar * 1e3:.2f} ms/batch "
+        f"({t_scalar / size * 1e6:.1f} us/eval)\n"
+        f"batch  : {t_batch * 1e3:.2f} ms/batch "
+        f"({t_batch / size * 1e6:.1f} us/eval)\n"
+        f"speedup: {speedup:.2f}x\n"
+        f"claim (>= 2x at batch 128): {speedup >= 2.0}\n",
+    )
+    assert speedup >= 1.5  # loose floor; the perf gate holds the bar
+
+
+def test_micro_batch_nic_ga_population(write_output, perf_log):
+    """MICRO-BATCH-NIC-GA: GA population fitness under NIC contention.
+
+    The exact call the GA engine makes per generation with
+    ``GAConfig(network="nic")`` now that the kernel registered —
+    chromosome lists in, one fitness sweep out.
+    """
+    w = paper_scale_workload()
+    size = 128
+    pop = _population(w, size)
+    t_scalar, t_batch = _population_eval_times(
+        ContentionSimulator(w), ContentionBatchSimulator(w), pop
+    )
+    speedup = t_scalar / t_batch
+
+    perf_log("MICRO-BATCH-NIC-GA", "speedup", round(speedup, 3), "x")
+    write_output(
+        "micro_batch_nic_ga_population",
+        "MICRO-BATCH-NIC-GA — GA population fitness under NIC "
+        "contention: scalar loop vs batch kernel\n\n"
+        f"population {size} at paper scale ({w.num_tasks} tasks, "
+        f"{w.num_machines} machines)\n"
+        f"scalar : {t_scalar * 1e3:.2f} ms/generation "
+        f"({t_scalar / size * 1e6:.1f} us/eval)\n"
+        f"batch  : {t_batch * 1e3:.2f} ms/generation "
+        f"({t_batch / size * 1e6:.1f} us/eval)\n"
+        f"speedup: {speedup:.2f}x\n",
+    )
+    assert speedup >= 1.5  # loose floor; the perf gate holds the bar

@@ -18,6 +18,7 @@ from repro.baselines.ga import GAConfig, GeneticAlgorithm
 from repro.core.config import SEConfig
 from repro.core.engine import SimulatedEvolution
 from repro.model.workload import Workload
+from repro.schedule.backend import DEFAULT_NETWORK
 from repro.utils.rng import RandomSource
 
 #: A runner takes (workload, time_limit_seconds) and returns a trace.
@@ -273,16 +274,38 @@ def se_vs_ga(
     )
 
 
+def _sa_base(network: str):
+    from repro.optim import SAConfig  # deferred: repro.optim is a higher layer
+
+    return SAConfig(network=network)
+
+
+def _tabu_base(network: str):
+    from repro.optim import TabuConfig  # deferred: see _sa_base
+
+    return TabuConfig(network=network)
+
+
 #: Runner factories for :func:`compare_named`, keyed by algorithm name.
-#: Each maps ``seed=`` to an independent RNG stream; SE gets the
+#: Each maps ``seed=`` to an independent RNG stream and ``network=`` to
+#: the simulator backend the engine optimises against; SE gets the
 #: calibrated :data:`COMPARISON_SE_BIAS` like :func:`se_vs_ga` does.
+#: The engines route batch scoring through their
+#: :class:`~repro.optim.evaluation.EvaluationService`, so every network
+#: with a registered batch kernel (both built-ins) accelerates here
+#: automatically — the runners never hard-code a scalar simulator.
 _NAMED_RUNNERS = {
-    "se": lambda seed: se_runner(
-        SEConfig(selection_bias=COMPARISON_SE_BIAS), seed=seed
+    "se": lambda seed, network: se_runner(
+        SEConfig(selection_bias=COMPARISON_SE_BIAS, network=network),
+        seed=seed,
     ),
-    "ga": lambda seed: ga_runner(seed=seed),
-    "sa": lambda seed: sa_runner(seed=seed),
-    "tabu": lambda seed: tabu_runner(seed=seed),
+    "ga": lambda seed, network: ga_runner(
+        GAConfig(network=network), seed=seed
+    ),
+    "sa": lambda seed, network: sa_runner(_sa_base(network), seed=seed),
+    "tabu": lambda seed, network: tabu_runner(
+        _tabu_base(network), seed=seed
+    ),
 }
 
 
@@ -292,6 +315,7 @@ def compare_named(
     time_budget: float,
     grid_points: int = 20,
     seed: RandomSource = None,
+    network: str = DEFAULT_NETWORK,
 ) -> ComparisonResult:
     """Head-to-head among any of the iterative engines by name.
 
@@ -300,6 +324,11 @@ def compare_named(
     same wall-clock budget with an independent RNG stream spawned from
     *seed*, and the best-so-far curves are sampled on one common grid.
     Series are named with the upper-cased algorithm names.
+
+    *network* selects the simulator backend every engine optimises
+    against (``repro compare --network nic`` races the engines under
+    NIC contention; batch-scoring engines pick up the network's
+    vectorized kernel automatically).
     """
     from repro.utils.rng import spawn_rngs
 
@@ -316,7 +345,7 @@ def compare_named(
         raise ValueError(f"duplicate algorithm names in {names}")
     rngs = spawn_rngs(seed, len(names))
     runners = {
-        name.upper(): _NAMED_RUNNERS[name](rng)
+        name.upper(): _NAMED_RUNNERS[name](rng, network)
         for name, rng in zip(names, rngs)
     }
     return compare_algorithms(
@@ -349,6 +378,7 @@ def head_to_head_experiment(
     workers: int = 1,
     cache_dir=None,
     progress=None,
+    network: str = DEFAULT_NETWORK,
 ) -> ComparisonResult:
     """The runner-backed head-to-head (Figs. 5-7 through :mod:`repro.runner`).
 
@@ -369,8 +399,21 @@ def head_to_head_experiment(
         *wall-clock-budget* runs the stopping instant is physical time,
         so co-scheduling can shift how far each contender gets — use the
         default serial mode for paper-grade timing comparisons.
+    network:
+        Simulator backend every contender optimises against (explicit
+        per-algorithm ``network`` entries in *algorithms* win; entries
+        whose registry declaration does not accept a ``network``
+        parameter are left untouched).  The engines' evaluation
+        services route batch scoring through the network's vectorized
+        kernel where one is registered, so ``network="nic"`` stays
+        accelerated.
     """
-    from repro.runner import AlgorithmSpec, ExperimentSpec, run_experiment
+    from repro.runner import (
+        AlgorithmSpec,
+        ExperimentSpec,
+        algorithm_parameters,
+        run_experiment,
+    )
 
     if algorithms is None:
         algorithms = {"SE": {}, "GA": {}}
@@ -404,6 +447,10 @@ def head_to_head_experiment(
             }
         else:
             base = {}
+        # only algorithms that declare the parameter get the selector —
+        # custom-registered entries without one must keep working
+        if "network" in algorithm_parameters(kind):
+            base["network"] = network
         base.update(params)
         algo_specs[name] = AlgorithmSpec.make(kind, **base)
 

@@ -96,6 +96,15 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     w = _load_workload(args.preset, args.seed)
     algo = args.algo
+    if args.verbose:
+        # capability of the selected backend, not a per-run trace: only
+        # algorithms that batch-score (ga, tabu, random, se with
+        # probe_evaluation="batch") actually exercise the kernel
+        print(
+            f"network {args.network!r}: batch evaluation via "
+            f"{_batch_mode(args.network)} "
+            "(applies when the algorithm batch-scores)"
+        )
     if algo == "se":
         res = run_se(
             w,
@@ -186,7 +195,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     algos = [a.strip() for a in args.algos.split(",") if a.strip()]
     print(w.describe())
     names = " and ".join(a.upper() for a in algos)
-    print(f"\nrunning {names} for {args.budget:.1f}s each ...")
+    print(
+        f"\nrunning {names} for {args.budget:.1f}s each "
+        f"on {args.network!r} ..."
+    )
     try:
         cmp = compare_named(
             w,
@@ -194,6 +206,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             time_budget=args.budget,
             grid_points=args.points,
             seed=args.seed,
+            network=args.network,
         )
     except ValueError as exc:
         raise SystemExit(f"compare: {exc}")
@@ -226,9 +239,37 @@ def _algorithms_listing() -> str:
     return "\n".join(lines)
 
 
+def _batch_mode(network: str) -> str:
+    """Human-readable batch-evaluation mode of a network backend."""
+    from repro.schedule.backend import has_batch_kernel
+
+    return (
+        "vectorized kernel"
+        if has_batch_kernel(network)
+        else "sequential scalar fallback"
+    )
+
+
+def _networks_listing() -> str:
+    """Every network model with its batch-evaluation mode.
+
+    A network without a vectorized kernel still accepts batch scoring —
+    it just loops the scalar simulator; listing the mode here keeps
+    that fallback visible instead of silent.
+    """
+    from repro.schedule.backend import available_networks
+
+    return "\n".join(
+        f"  {name:16s} batch evaluation: {_batch_mode(name)}"
+        for name in available_networks()
+    )
+
+
 def _cmd_algorithms(args: argparse.Namespace) -> int:
     print("registry algorithms and their AlgorithmSpec parameters:")
     print(_algorithms_listing())
+    print("\nnetwork models (--network) and their batch kernels:")
+    print(_networks_listing())
     return 0
 
 
@@ -501,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator backend: paper model or NIC serialisation",
     )
     p.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print backend details (batch kernel vs scalar fallback)",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -515,6 +561,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--algos",
         default="se,ga",
         help="comma list of engines to race (se, ga, sa, tabu)",
+    )
+    p.add_argument(
+        "--network",
+        default="contention-free",
+        choices=["contention-free", "nic"],
+        help="simulator backend every engine optimises against",
     )
     p.set_defaults(func=_cmd_compare)
 

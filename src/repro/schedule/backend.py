@@ -148,17 +148,35 @@ def _ensure_builtins() -> None:
     # The NIC backend lives one layer up (repro.extensions.contention) and
     # registers itself at import; import it lazily so repro.schedule keeps
     # no import-time dependency on the extension layer.  The vectorized
-    # batch kernel registers the "contention-free" fast path the same way.
+    # batch kernels register the "contention-free" and "nic" fast paths
+    # the same way.
     if NIC_NETWORK not in _NETWORKS:
         import repro.extensions.contention  # noqa: F401  (registers "nic")
     if DEFAULT_NETWORK not in _BATCH_NETWORKS:
         import repro.schedule.vectorized  # noqa: F401
+    if NIC_NETWORK not in _BATCH_NETWORKS:
+        import repro.schedule.vectorized_contention  # noqa: F401
 
 
 def available_networks() -> list[str]:
     """All registered network-model names, sorted."""
     _ensure_builtins()
     return sorted(_NETWORKS)
+
+
+def has_batch_kernel(network: str) -> bool:
+    """Whether *network* registered a vectorized batch kernel.
+
+    False means ``make_simulator(..., batch=True)`` still works but
+    loops the scalar backend sequentially (and the resulting backend
+    reports ``is_vectorized == False``).  Surfaced by ``repro
+    algorithms`` / ``repro run --verbose`` so the fallback is visible.
+
+    >>> has_batch_kernel("contention-free"), has_batch_kernel("nic")
+    (True, True)
+    """
+    _ensure_builtins()
+    return network.lower() in _BATCH_NETWORKS
 
 
 def make_simulator(
@@ -171,12 +189,14 @@ def make_simulator(
     With ``batch=True`` the scalar backend is wrapped in a
     :class:`~repro.schedule.vectorized.BatchBackend` that additionally
     offers ``batch_makespans(orders, machines)`` /
-    ``batch_string_makespans(strings)``: the NumPy
-    :class:`~repro.schedule.vectorized.BatchSimulator` kernel for
-    networks that registered one (``"contention-free"``), a sequential
-    scalar fallback otherwise (``"nic"``).  Scalar-tier methods are
-    forwarded without overhead either way, so a batch-wrapped backend is
-    a drop-in :class:`SimulatorBackend`.
+    ``batch_string_makespans(strings)``: the network's registered NumPy
+    kernel (:class:`~repro.schedule.vectorized.BatchSimulator` for
+    ``"contention-free"``,
+    :class:`~repro.schedule.vectorized_contention.
+    ContentionBatchSimulator` for ``"nic"``), or a sequential scalar
+    fallback for networks without one (see :func:`has_batch_kernel`).
+    Scalar-tier methods are forwarded without overhead either way, so a
+    batch-wrapped backend is a drop-in :class:`SimulatorBackend`.
 
     Raises
     ------

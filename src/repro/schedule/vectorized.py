@@ -77,15 +77,203 @@ def _as_index_matrix(rows: Any, k: int, name: str) -> np.ndarray:
     return arr
 
 
-@register_batch_network("contention-free")
-class BatchSimulator:
-    """NumPy batch-evaluation kernel for the contention-free model.
+class WorkloadPack:
+    """Per-workload tensors shared by the batch kernels.
 
-    Build once per workload (packing cost is one pass over the DAG),
-    then call :meth:`makespans` with a whole batch of schedules — a GA
-    population, one SE generation's trial moves, a chunk of random
-    samples.  Scores are bit-identical to sequential
-    :meth:`~repro.schedule.simulator.Simulator.makespan` calls.
+    Both :class:`BatchSimulator` (contention-free) and
+    :class:`~repro.schedule.vectorized_contention.ContentionBatchSimulator`
+    ("nic") walk schedules with the same gather tables: the ``(l, k)``
+    execution matrix, the zero-padded transfer matrix, the padded-CSR
+    in-edge lanes and the machine-pair row lookup described in the
+    module docstring.  Packing them lives here, once, so the kernels
+    cannot drift apart on layout or sentinel conventions.
+
+    The NIC kernel additionally needs the *out*-edge side of the DAG
+    (which items each task pushes, in ascending item-index order — the
+    documented NIC serialisation order); those tables are built lazily
+    by :meth:`out_tables` so contention-free packing does not pay for
+    them.
+
+    Sentinel conventions (shared by every consumer):
+
+    * producer/consumer lane padding uses the virtual task ``k`` — its
+      machine reads 0 from a zero-padded machine row and its finish
+      time reads 0.0 from a zero-padded finish slot;
+    * item lane padding uses the virtual item ``num_items`` — both the
+      padded ``tr`` column and the kernels' arrival slot for that index
+      hold a permanent 0.0;
+    * ``pair_row``'s diagonal points at ``tr``'s all-zero padding row,
+      so same-machine transfers gather a stored 0.0 with no branch.
+    """
+
+    __slots__ = (
+        "workload",
+        "k",
+        "l",
+        "num_items",
+        "E",
+        "tr",
+        "pair_row",
+        "trv_table",
+        "deg",
+        "pad_prod",
+        "pad_item",
+        "max_deg",
+        "edge_prod",
+        "edge_cons",
+        "_out_tables",
+    )
+
+    def __init__(self, workload: Workload):
+        self.workload = workload
+        graph = workload.graph
+        k = self.k = graph.num_tasks
+        l = self.l = workload.num_machines
+        self.E = np.ascontiguousarray(workload.exec_times.values)
+
+        # Tr padded with one all-zero column (the sentinel data item
+        # that unused lanes read) and one all-zero row (the "row" of a
+        # same-machine pair), so zero-cost cases need no mask arithmetic
+        # at all: they simply gather a stored 0.0.
+        tr = workload.transfer_times.values
+        num_rows, num_items = tr.shape
+        self.num_items = num_items
+        tr_pad = np.zeros((num_rows + 1, num_items + 1))
+        if tr.size:
+            tr_pad[:num_rows, :num_items] = tr
+        self.tr = tr_pad
+
+        # (l, l) lookup table: upper-triangular Tr row of a machine
+        # pair; the diagonal points at the all-zero padding row.
+        pair_row = np.full((l, l), num_rows, dtype=np.intp)
+        for a in range(l):
+            for b in range(a + 1, l):
+                pair_row[a, b] = pair_row[b, a] = (
+                    a * l - a * (a + 1) // 2 + (b - a - 1)
+                )
+        self.pair_row = pair_row
+        # Fully tabulated transfer cost T[a, b, item] — collapses the
+        # pair_row + Tr double gather into one — unless the table would
+        # be unreasonably large (big machine counts / item counts).
+        if l * l * (num_items + 1) <= 4_000_000:
+            self.trv_table = np.ascontiguousarray(tr_pad[pair_row])
+        else:
+            self.trv_table = None
+
+        items = graph.data_items
+        in_edges: list[list[tuple[int, int]]] = [[] for _ in range(k)]
+        for d in items:
+            in_edges[d.consumer].append((d.producer, d.index))
+        deg = np.array([len(es) for es in in_edges], dtype=np.intp)
+        D = self.max_deg = int(deg.max()) if k else 0
+        # Sentinel lanes: producer k (a virtual task whose finish time is
+        # pinned at 0.0) and item num_items (the zero Tr column above).
+        pad_prod = np.full((k, max(D, 1)), k, dtype=np.intp)
+        pad_item = np.full((k, max(D, 1)), num_items, dtype=np.intp)
+        for t, es in enumerate(in_edges):
+            for j, (prod, item) in enumerate(es):
+                pad_prod[t, j] = prod
+                pad_item[t, j] = item
+        self.deg = deg
+        self.pad_prod = pad_prod
+        self.pad_item = pad_item
+        self.edge_prod = np.array(
+            [d.producer for d in items], dtype=np.intp
+        )
+        self.edge_cons = np.array(
+            [d.consumer for d in items], dtype=np.intp
+        )
+        self._out_tables: Optional[tuple] = None
+
+    def out_tables(self) -> tuple:
+        """Padded out-edge lane tables, built on first request.
+
+        Returns ``(pad_out_item, pad_out_slot, pad_out_cons, out_deg,
+        max_out_deg)``:
+
+        * ``out_deg[t]`` — number of items task ``t`` produces;
+        * ``pad_out_item[t, j]`` — the ``j``-th pushed item, ascending
+          item index (the NIC serialisation order); sentinel lanes hold
+          ``num_items``, gathering ``tr``'s all-zero padding column;
+        * ``pad_out_slot[t, j]`` — where the push's arrival time is
+          written: the real item index, or the scratch slot
+          ``num_items + 1`` for sentinel lanes (slot ``num_items`` must
+          stay a permanent 0.0 because in-edge sentinel lanes read it);
+        * ``pad_out_cons[t, j]`` — the item's consumer task (sentinel:
+          the virtual task ``k``, whose machine reads 0).
+        """
+        if self._out_tables is not None:
+            return self._out_tables
+        graph = self.workload.graph
+        k = self.k
+        out_edges = [
+            [(i, graph.data_item(i).consumer) for i in sorted(graph.out_items(t))]
+            for t in range(k)
+        ]
+        out_deg = np.array([len(es) for es in out_edges], dtype=np.intp)
+        Do = int(out_deg.max()) if k else 0
+        pad_out_item = np.full((k, max(Do, 1)), self.num_items, dtype=np.intp)
+        pad_out_slot = np.full(
+            (k, max(Do, 1)), self.num_items + 1, dtype=np.intp
+        )
+        pad_out_cons = np.full((k, max(Do, 1)), k, dtype=np.intp)
+        for t, es in enumerate(out_edges):
+            for j, (item, cons) in enumerate(es):
+                pad_out_item[t, j] = item
+                pad_out_slot[t, j] = item
+                pad_out_cons[t, j] = cons
+        self._out_tables = (pad_out_item, pad_out_slot, pad_out_cons, out_deg, Do)
+        return self._out_tables
+
+    def validate_batch(self, orders: np.ndarray, machines: np.ndarray) -> None:
+        """Raise unless every row encodes a valid schedule.
+
+        Checks (all vectorized): each order is a permutation of
+        ``0..k-1``, every machine id is in range, and every data item's
+        producer precedes its consumer.  Mirrors the scalar simulators'
+        :class:`~repro.schedule.simulator.InvalidScheduleError` for
+        precedence violations.
+        """
+        k = self.k
+        if not (
+            np.sort(orders, axis=1) == np.arange(k, dtype=np.intp)
+        ).all():
+            raise InvalidScheduleError(
+                "batch contains an order that is not a permutation of "
+                f"0..{k - 1}"
+            )
+        if machines.size and (
+            machines.min() < 0 or machines.max() >= self.l
+        ):
+            raise ValueError(
+                f"batch contains machine ids outside [0, {self.l})"
+            )
+        if self.edge_prod.size:
+            pos = np.empty_like(orders)
+            np.put_along_axis(
+                pos, orders, np.arange(k, dtype=np.intp)[None, :], axis=1
+            )
+            ok = pos[:, self.edge_prod] < pos[:, self.edge_cons]
+            if not ok.all():
+                b, e = np.argwhere(~ok)[0]
+                raise InvalidScheduleError(
+                    f"schedule {b}: subtask {self.edge_cons[e]} scheduled "
+                    f"before its producer {self.edge_prod[e]}"
+                )
+
+
+class BatchKernel:
+    """Shared batch-API driver of the vectorized kernels.
+
+    Subclasses (:class:`BatchSimulator` and the NIC kernel in
+    :mod:`repro.schedule.vectorized_contention`) supply ``__init__``
+    (which must set ``_workload``, ``_pack``, ``_k``, ``_l``) and
+    ``_score_chunk``; everything batch-contract-shaped lives here once —
+    input coercion, validation, the empty-batch shortcut, the
+    cache-sized chunking loop, the :class:`ScheduleString` front end and
+    the identity properties — so the two kernels cannot drift apart on
+    the API side any more than :class:`WorkloadPack` lets them drift on
+    the packing side.
     """
 
     #: True for a real vectorized kernel; the scalar fallback says False.
@@ -96,85 +284,53 @@ class BatchSimulator:
     #: stay cache-resident (measured sweet spot on paper-scale graphs).
     chunk_size = 128
 
+    # exactly the attributes _bind_pack assigns; subclasses declare only
+    # their kernel-specific extras
     __slots__ = (
         "_workload",
+        "_pack",
         "_k",
         "_l",
         "_E",
         "_tr",
+        "_pair_row",
+        "_trv_table",
         "_deg",
         "_pad_prod",
         "_pad_item",
         "_max_deg",
-        "_pair_row",
-        "_trv_table",
-        "_edge_prod",
-        "_edge_cons",
         "_scratch",
     )
 
-    def __init__(self, workload: Workload):
+    def _bind_pack(
+        self, workload: Workload, pack: Optional[WorkloadPack]
+    ) -> WorkloadPack:
+        """Set the pack-derived aliases every kernel walk reads.
+
+        The aliases keep the hot loops free of attribute chains; binding
+        them here, once, keeps the two kernels' views of the pack from
+        drifting.  Returns the (possibly freshly built) pack so
+        subclasses can pull their extra tables from it.
+        """
+        if pack is None:
+            pack = WorkloadPack(workload)
         self._workload = workload
-        graph = workload.graph
-        k = self._k = graph.num_tasks
-        l = self._l = workload.num_machines
-        self._E = np.ascontiguousarray(workload.exec_times.values)
-
-        # Tr padded with one all-zero column (the sentinel data item
-        # that unused lanes read) and one all-zero row (the "row" of a
-        # same-machine pair), so zero-cost cases need no mask arithmetic
-        # at all: they simply gather a stored 0.0.
-        tr = workload.transfer_times.values
-        num_rows, num_items = tr.shape
-        tr_pad = np.zeros((num_rows + 1, num_items + 1))
-        if tr.size:
-            tr_pad[:num_rows, :num_items] = tr
-        self._tr = tr_pad
-
-        # (l, l) lookup table: upper-triangular Tr row of a machine
-        # pair; the diagonal points at the all-zero padding row.
-        pair_row = np.full((l, l), num_rows, dtype=np.intp)
-        for a in range(l):
-            for b in range(a + 1, l):
-                pair_row[a, b] = pair_row[b, a] = (
-                    a * l - a * (a + 1) // 2 + (b - a - 1)
-                )
-        self._pair_row = pair_row
-        # Fully tabulated transfer cost T[a, b, item] — collapses the
-        # pair_row + Tr double gather into one — unless the table would
-        # be unreasonably large (big machine counts / item counts).
-        if l * l * (num_items + 1) <= 4_000_000:
-            self._trv_table = np.ascontiguousarray(tr_pad[pair_row])
-        else:
-            self._trv_table = None
-
-        items = graph.data_items
-        in_edges: list[list[tuple[int, int]]] = [[] for _ in range(k)]
-        for d in items:
-            in_edges[d.consumer].append((d.producer, d.index))
-        deg = np.array([len(es) for es in in_edges], dtype=np.intp)
-        D = self._max_deg = int(deg.max()) if k else 0
-        # Sentinel lanes: producer k (a virtual task whose finish time is
-        # pinned at 0.0) and item num_items (the zero Tr column above).
-        pad_prod = np.full((k, max(D, 1)), k, dtype=np.intp)
-        pad_item = np.full((k, max(D, 1)), num_items, dtype=np.intp)
-        for t, es in enumerate(in_edges):
-            for j, (prod, item) in enumerate(es):
-                pad_prod[t, j] = prod
-                pad_item[t, j] = item
-        self._deg = deg
-        self._pad_prod = pad_prod
-        self._pad_item = pad_item
-        self._edge_prod = np.array(
-            [d.producer for d in items], dtype=np.intp
-        )
-        self._edge_cons = np.array(
-            [d.consumer for d in items], dtype=np.intp
-        )
+        self._pack = pack
+        self._k = pack.k
+        self._l = pack.l
+        self._E = pack.E
+        self._tr = pack.tr
+        self._pair_row = pack.pair_row
+        self._trv_table = pack.trv_table
+        self._deg = pack.deg
+        self._pad_prod = pack.pad_prod
+        self._pad_item = pack.pad_item
+        self._max_deg = pack.max_deg
         # chunk-sized scratch buffers, allocated lazily on first use and
         # reused across calls (fresh multi-MB allocations would pay page
         # faults every batch); makes instances NOT thread-safe
         self._scratch: Optional[dict] = None
+        return pack
 
     @property
     def workload(self) -> Workload:
@@ -188,51 +344,15 @@ class BatchSimulator:
     def num_machines(self) -> int:
         return self._l
 
-    # ------------------------------------------------------------------
-    # validation
-    # ------------------------------------------------------------------
-
     def validate_batch(
         self, orders: np.ndarray, machines: np.ndarray
     ) -> None:
         """Raise unless every row encodes a valid schedule.
 
-        Checks (all vectorized): each order is a permutation of
-        ``0..k-1``, every machine id is in range, and every data item's
-        producer precedes its consumer.  Mirrors the scalar simulator's
-        :class:`~repro.schedule.simulator.InvalidScheduleError` for
-        precedence violations.
+        Delegates to :meth:`WorkloadPack.validate_batch` (shared by
+        both kernels).
         """
-        k = self._k
-        if not (
-            np.sort(orders, axis=1) == np.arange(k, dtype=np.intp)
-        ).all():
-            raise InvalidScheduleError(
-                "batch contains an order that is not a permutation of "
-                f"0..{k - 1}"
-            )
-        if machines.size and (
-            machines.min() < 0 or machines.max() >= self._l
-        ):
-            raise ValueError(
-                f"batch contains machine ids outside [0, {self._l})"
-            )
-        if self._edge_prod.size:
-            pos = np.empty_like(orders)
-            np.put_along_axis(
-                pos, orders, np.arange(k, dtype=np.intp)[None, :], axis=1
-            )
-            ok = pos[:, self._edge_prod] < pos[:, self._edge_cons]
-            if not ok.all():
-                b, e = np.argwhere(~ok)[0]
-                raise InvalidScheduleError(
-                    f"schedule {b}: subtask {self._edge_cons[e]} scheduled "
-                    f"before its producer {self._edge_prod[e]}"
-                )
-
-    # ------------------------------------------------------------------
-    # hot path
-    # ------------------------------------------------------------------
+        self._pack.validate_batch(orders, machines)
 
     def makespans(
         self,
@@ -257,7 +377,8 @@ class BatchSimulator:
             allocator's in-range relocations) may pass ``False``.
 
         Returns the same floats, bit for bit, as a sequential loop of
-        ``Simulator.makespan`` calls over the rows.
+        the kernel's scalar backend over the rows (each kernel's class
+        docstring names its backend; both are property-tested).
         """
         k = self._k
         orders = _as_index_matrix(orders, k, "orders")
@@ -281,6 +402,35 @@ class BatchSimulator:
                 orders[start:stop], machines[start:stop]
             )
         return out
+
+    def string_makespans(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> np.ndarray:
+        """:meth:`makespans` over :class:`ScheduleString` objects."""
+        if not strings:
+            return np.empty(0, dtype=float)
+        orders = np.array([s.order for s in strings], dtype=np.intp)
+        machines = np.array([s.machines for s in strings], dtype=np.intp)
+        return self.makespans(orders, machines, validate=validate)
+
+
+@register_batch_network("contention-free")
+class BatchSimulator(BatchKernel):
+    """NumPy batch-evaluation kernel for the contention-free model.
+
+    Build once per workload (packing cost is one pass over the DAG),
+    then call :meth:`makespans` with a whole batch of schedules — a GA
+    population, one SE generation's trial moves, a chunk of random
+    samples.  Scores are bit-identical to sequential
+    :meth:`~repro.schedule.simulator.Simulator.makespan` calls.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self, workload: Workload, pack: Optional[WorkloadPack] = None
+    ):
+        self._bind_pack(workload, pack)
 
     def _score_chunk(
         self, orders: np.ndarray, machines: np.ndarray
@@ -403,16 +553,6 @@ class BatchSimulator:
         }
         return sc
 
-    def string_makespans(
-        self, strings: Sequence[ScheduleString], validate: bool = True
-    ) -> np.ndarray:
-        """:meth:`makespans` over :class:`ScheduleString` objects."""
-        if not strings:
-            return np.empty(0, dtype=float)
-        orders = np.array([s.order for s in strings], dtype=np.intp)
-        machines = np.array([s.machines for s in strings], dtype=np.intp)
-        return self.makespans(orders, machines, validate=validate)
-
 
 class SequentialBatchKernel:
     """Scalar fallback: a batch API looping over any scalar backend.
@@ -476,7 +616,6 @@ class BatchBackend:
     def __init__(self, scalar: Any, kernel: Any):
         self._scalar = scalar
         self._kernel = kernel
-        self.is_vectorized = bool(kernel.is_vectorized)
         for name in self._FORWARDED:
             method = getattr(scalar, name, None)
             if method is not None:
@@ -485,6 +624,17 @@ class BatchBackend:
     @property
     def workload(self) -> Workload:
         return self._scalar.workload
+
+    @property
+    def is_vectorized(self) -> bool:
+        """True when batch calls run a genuinely vectorized kernel.
+
+        Read-only: the answer is a fact about the wrapped kernel, not a
+        switch.  Surfaced by ``repro algorithms`` and ``repro run
+        --verbose`` so a sequential fallback is visible instead of
+        silent.
+        """
+        return bool(self._kernel.is_vectorized)
 
     @property
     def scalar_backend(self) -> Any:

@@ -142,3 +142,72 @@ class TestRealRunners:
     def test_winner_timeline_length(self, tiny_workload):
         res = se_vs_ga(tiny_workload, time_budget=0.3, grid_points=5, seed=2)
         assert len(res.winner_timeline()) == 5
+
+    def test_compare_named_under_nic(self, tiny_workload):
+        from repro.analysis.compare import compare_named
+
+        res = compare_named(
+            tiny_workload,
+            ["se", "tabu"],
+            time_budget=0.2,
+            grid_points=3,
+            seed=1,
+            network="nic",
+        )
+        assert {s.name for s in res.series} == {"SE", "TABU"}
+        for s in res.series:
+            assert any(math.isfinite(v) for v in s.best_at)
+
+
+class TestHeadToHeadNetwork:
+    def test_network_threads_to_known_kinds(self, tiny_workload):
+        from repro.analysis.compare import head_to_head_experiment
+        from repro.workloads import WorkloadSpec
+
+        spec = WorkloadSpec(
+            num_tasks=6, num_machines=2, seed=3, name="h2h-nic"
+        )
+        res = head_to_head_experiment(
+            spec,
+            time_budget=0.2,
+            algorithms={"SE": {}, "HEFT": {}},
+            grid_points=3,
+            seed=1,
+            network="nic",
+        )
+        assert {s.name for s in res.series} == {"SE", "HEFT"}
+
+    def test_network_skipped_for_algorithms_without_parameter(
+        self, tiny_workload, tmp_path
+    ):
+        """A custom-registered algorithm that declares no ``network``
+        parameter must keep working when the harness-wide network is
+        set (the selector is only injected where it is accepted)."""
+        from repro.analysis.compare import head_to_head_experiment
+        from repro.runner import registry
+        from repro.workloads import WorkloadSpec
+
+        if "nonet" not in registry.available_algorithms():
+
+            @registry.register_algorithm("nonet")
+            def _nonet(workload, seed, params):
+                from repro.baselines import olb
+
+                assert "network" not in params  # nothing injected
+                res = olb(workload)
+                return registry.CellOutcome(
+                    makespan=res.makespan, evaluations=res.evaluations
+                )
+
+        spec = WorkloadSpec(
+            num_tasks=6, num_machines=2, seed=3, name="h2h-nonet"
+        )
+        res = head_to_head_experiment(
+            spec,
+            time_budget=0.2,
+            algorithms={"NONET": {"kind": "nonet"}},
+            grid_points=3,
+            seed=1,
+            network="nic",
+        )
+        assert {s.name for s in res.series} == {"NONET"}

@@ -26,8 +26,30 @@ class TestRouting:
     def test_contention_free_batch_is_vectorized(self, workload):
         assert EvaluationService(workload).is_vectorized is True
 
-    def test_nic_batch_falls_back_sequential(self, workload):
-        assert EvaluationService(workload, "nic").is_vectorized is False
+    def test_nic_batch_is_vectorized(self, workload):
+        # since the NIC kernel registered, "nic" batches are vectorized
+        assert EvaluationService(workload, "nic").is_vectorized is True
+
+    def test_unkernelled_network_falls_back_sequential(
+        self, workload, monkeypatch
+    ):
+        # a network without a registered kernel loops the scalar backend
+        # and *visibly* reports so — the fallback must never be silent
+        from repro.schedule import backend as backend_mod
+
+        backend_mod._ensure_builtins()
+        monkeypatch.delitem(backend_mod._BATCH_NETWORKS, "nic")
+        svc = EvaluationService(workload, "nic")
+        assert svc.is_vectorized is False
+        ref = ContentionSimulator(workload)
+        strings = [
+            random_valid_string(workload.graph, workload.num_machines, s)
+            for s in range(3)
+        ]
+        assert svc.batch_string_makespans(strings) == [
+            ref.string_makespan(s) for s in strings
+        ]
+        assert svc.evaluations == len(strings)
 
     def test_prefer_batch_false_disables_kernel(self, workload):
         assert (

@@ -148,7 +148,28 @@ class TestBatchBackendPlumbing:
         assert isinstance(sim.kernel, BatchSimulator)
         assert isinstance(sim.scalar_backend, Simulator)
 
-    def test_make_simulator_batch_nic_falls_back(self):
+    def test_make_simulator_batch_nic_is_vectorized(self):
+        from repro.schedule.vectorized_contention import (
+            ContentionBatchSimulator,
+        )
+
+        w = diamond_workload()
+        sim = make_simulator(w, "nic", batch=True)
+        assert isinstance(sim, BatchBackend)
+        assert sim.is_vectorized
+        assert isinstance(sim.kernel, ContentionBatchSimulator)
+        assert isinstance(sim.scalar_backend, ContentionSimulator)
+        assert sim.kernel.workload is w
+
+    def test_make_simulator_unkernelled_network_falls_back(
+        self, monkeypatch
+    ):
+        # without a registered kernel the wrapper still works — via the
+        # sequential scalar loop — and says so via is_vectorized
+        from repro.schedule import backend as backend_mod
+
+        backend_mod._ensure_builtins()
+        monkeypatch.delitem(backend_mod._BATCH_NETWORKS, "nic")
         w = diamond_workload()
         sim = make_simulator(w, "nic", batch=True)
         assert isinstance(sim, BatchBackend)
@@ -156,6 +177,13 @@ class TestBatchBackendPlumbing:
         assert isinstance(sim.kernel, SequentialBatchKernel)
         assert isinstance(sim.scalar_backend, ContentionSimulator)
         assert sim.kernel.workload is w
+        assert "sequential" in repr(sim)
+
+    def test_is_vectorized_is_read_only(self):
+        w = diamond_workload()
+        sim = make_simulator(w, batch=True)
+        with pytest.raises(AttributeError):
+            sim.is_vectorized = False
 
     def test_batch_backend_forwards_scalar_tier(self):
         w = diamond_workload()

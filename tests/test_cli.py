@@ -234,6 +234,75 @@ class TestAlgorithmsCommand:
         assert "unknown algorithms" in msg
         assert "tabu" in msg and "neighborhood_size" in msg
 
+    def test_lists_network_batch_modes(self, capsys):
+        # both built-in networks ship vectorized batch kernels; the
+        # listing is what makes a sequential fallback visible
+        main(["algorithms"])
+        out = capsys.readouterr().out
+        assert "network models" in out
+        assert "contention-free" in out
+        assert "nic" in out
+        assert out.count("vectorized kernel") == 2
+        assert "sequential scalar fallback" not in out
+
+    def test_lists_sequential_fallback_when_no_kernel(
+        self, capsys, monkeypatch
+    ):
+        from repro.schedule import backend as backend_mod
+
+        backend_mod._ensure_builtins()
+        monkeypatch.delitem(backend_mod._BATCH_NETWORKS, "nic")
+        main(["algorithms"])
+        out = capsys.readouterr().out
+        assert "sequential scalar fallback" in out
+
+
+class TestRunVerbose:
+    def test_verbose_reports_vectorized_nic(self, capsys):
+        rc = main(
+            ["run", "--algo", "heft", "--preset", "small", "--seed", "1",
+             "--network", "nic", "--verbose"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "network 'nic': batch evaluation via vectorized kernel" in out
+
+    def test_verbose_reports_sequential_fallback(self, capsys, monkeypatch):
+        from repro.schedule import backend as backend_mod
+
+        backend_mod._ensure_builtins()
+        monkeypatch.delitem(backend_mod._BATCH_NETWORKS, "nic")
+        rc = main(
+            ["run", "--algo", "heft", "--preset", "small", "--seed", "1",
+             "--network", "nic", "--verbose"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert (
+            "network 'nic': batch evaluation via sequential scalar "
+            "fallback" in out
+        )
+
+    def test_quiet_by_default(self, capsys):
+        main(
+            ["run", "--algo", "heft", "--preset", "small", "--seed", "1",
+             "--network", "nic"]
+        )
+        assert "batch evaluation" not in capsys.readouterr().out
+
+
+class TestCompareNetwork:
+    def test_compare_under_nic(self, capsys):
+        rc = main(
+            ["compare", "--preset", "small", "--seed", "1",
+             "--budget", "0.2", "--points", "2",
+             "--algos", "se,tabu", "--network", "nic"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "'nic'" in out
+        assert "final best" in out
+
 
 class TestSweepNewEngines:
     def test_five_algorithm_sweep(self, tmp_path, capsys):
