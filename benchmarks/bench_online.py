@@ -1,0 +1,85 @@
+"""MICRO-ONLINE — service throughput and flow-time tail under load.
+
+Runs the online scheduling service over a pinned Poisson stream at ~0.7
+offered load (40 jobs of 20 tasks on 8 machines, NIC contention, HEFT
+dispatch, periodic tabu re-optimisation) and records:
+
+* ``mean_flow`` / ``p99_flow`` — **simulated-time** latencies, exactly
+  deterministic in the pinned seeds, so the CI perf gate holds them to
+  the committed baseline like any other metric (drift means the service
+  semantics changed, not that a runner was slow);
+* ``jobs_per_wall_s`` — wall-clock service throughput (how many jobs
+  the event loop commits+simulates per real second).  Machine-dependent,
+  so it is recorded for trend-watching but deliberately **not** in the
+  committed baseline.
+
+Like the other MICRO-* benches, in-test assertions are loose shape
+floors that cannot flake on a loaded runner; the strict gate is
+``repro perf check`` against ``benchmarks/baseline/BENCH_micro.json``.
+"""
+
+import time
+
+from repro.online import DynamicSimulator, ReoptConfig, poisson_stream
+from repro.workloads import WorkloadSpec
+
+TEMPLATE = WorkloadSpec(num_tasks=20, num_machines=8)
+NUM_JOBS = 40
+RATE = 0.0035  # ~0.7 offered load for this template (pinned, not derived)
+
+
+def service_run():
+    stream = poisson_stream(RATE, NUM_JOBS, TEMPLATE, seed=77)
+    return DynamicSimulator(
+        stream,
+        network="nic",
+        policy="heft",
+        reopt=ReoptConfig(interval=500.0, engine="tabu", max_iterations=20),
+        seed=5,
+    ).run()
+
+
+def test_micro_online_service(write_output, perf_log):
+    """MICRO-ONLINE: pinned-stream service metrics + wall throughput."""
+    t0 = time.perf_counter()
+    result = service_run()
+    wall = time.perf_counter() - t0
+    m = result.metrics
+
+    # loose shape floors only — the strict gate is the perf baseline
+    assert m.num_jobs == NUM_JOBS
+    assert 0.0 < m.mean_flow <= m.p99_flow <= m.max_flow
+    assert wall > 0.0
+
+    jobs_per_wall_s = NUM_JOBS / wall
+    perf_log("MICRO-ONLINE", "mean_flow", round(m.mean_flow, 4), "s")
+    perf_log("MICRO-ONLINE", "p99_flow", round(m.p99_flow, 4), "s")
+    perf_log(
+        "MICRO-ONLINE",
+        "jobs_per_wall_s",
+        round(jobs_per_wall_s, 2),
+        "jobs/s",
+    )
+
+    write_output(
+        "bench_online",
+        "\n".join(
+            [
+                "MICRO-ONLINE: online service under 0.7 offered load",
+                f"jobs={NUM_JOBS} tasks/job={TEMPLATE.num_tasks} "
+                f"machines={TEMPLATE.num_machines} lambda={RATE}",
+                "policy=heft network=nic reopt=tabu/20-iter every 500",
+                "",
+                f"simulated horizon : {m.horizon:.1f}",
+                f"throughput (sim)  : {m.throughput:.6f} jobs/unit-time",
+                f"mean flow         : {m.mean_flow:.4f}",
+                f"p50 flow          : {m.p50_flow:.4f}",
+                f"p99 flow          : {m.p99_flow:.4f}",
+                f"max flow          : {m.max_flow:.4f}",
+                f"wall time         : {wall:.3f} s "
+                f"({jobs_per_wall_s:.1f} jobs/s)",
+                f"events logged     : {len(result.events)}",
+            ]
+        )
+        + "\n",
+    )

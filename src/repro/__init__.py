@@ -48,6 +48,7 @@ from repro import (
     extensions,
     io,
     model,
+    online,
     optim,
     runner,
     schedule,
@@ -69,6 +70,13 @@ from repro.core import (
     SEResult,
     SimulatedEvolution,
     run_se,
+)
+from repro.online import (
+    DynamicSimulator,
+    JobStream,
+    OnlineResult,
+    ReoptConfig,
+    poisson_stream,
 )
 from repro.optim import (
     SAConfig,
@@ -104,6 +112,7 @@ __all__ = [
     "extensions",
     "io",
     "model",
+    "online",
     "optim",
     "runner",
     "schedule",
@@ -121,6 +130,11 @@ __all__ = [
     "SEResult",
     "SimulatedEvolution",
     "run_se",
+    "DynamicSimulator",
+    "JobStream",
+    "OnlineResult",
+    "ReoptConfig",
+    "poisson_stream",
     "SAConfig",
     "SearchResult",
     "SimulatedAnnealing",

@@ -47,6 +47,10 @@ from repro.analysis.stats import (
 )
 from repro.analysis.trace import ConvergenceTrace, IterationRecord, downsample
 
+# imported last: repro.analysis.online pulls in repro.online, which leans
+# on the modules above being importable already
+from repro.analysis.online import flow_table, summary_lines  # noqa: E402
+
 __all__ = [
     "COMPARISON_SE_BIAS",
     "Series",
@@ -88,4 +92,6 @@ __all__ = [
     "GridResult",
     "grid_from_experiment",
     "run_grid",
+    "flow_table",
+    "summary_lines",
 ]

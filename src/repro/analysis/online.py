@@ -1,0 +1,49 @@
+"""Reporting helpers for online-service runs.
+
+Turns an :class:`~repro.online.simulator.OnlineResult` into the
+per-job flow table and summary block the ``repro serve`` CLI prints —
+the online counterpart of :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import markdown_table
+from repro.online.simulator import OnlineResult
+
+__all__ = ["flow_table", "summary_lines"]
+
+
+def flow_table(result: OnlineResult) -> str:
+    """Markdown table of every completed job's lifecycle, arrival order."""
+    rows = [
+        [
+            r.job_id,
+            r.num_tasks,
+            f"{r.t_arrival:.3f}",
+            f"{r.t_completed:.3f}",
+            f"{r.flow_time:.3f}",
+        ]
+        for r in sorted(result.records, key=lambda r: (r.t_arrival, r.job_id))
+    ]
+    return markdown_table(
+        ["job", "tasks", "arrival", "completed", "flow"], rows
+    )
+
+
+def summary_lines(result: OnlineResult) -> list[str]:
+    """Human-readable summary block for one service run."""
+    m = result.metrics
+    reopts = sum(1 for e in result.events if e["type"] == "reopt")
+    improved = sum(
+        e["improved"] for e in result.events if e["type"] == "reopt"
+    )
+    return [
+        f"network={result.network} policy={result.policy} "
+        f"machines={result.num_machines}",
+        f"jobs completed: {m.num_jobs}   horizon: {m.horizon:.3f}",
+        f"throughput: {m.throughput:.6f} jobs/unit-time",
+        f"flow time: mean={m.mean_flow:.3f}  p50={m.p50_flow:.3f}  "
+        f"p99={m.p99_flow:.3f}  max={m.max_flow:.3f}",
+        f"reopt windows: {reopts} ({improved} job improvements)",
+        f"events logged: {len(result.events)}",
+    ]

@@ -19,6 +19,7 @@ re-measured through the real backend.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.model.workload import Workload
 from repro.schedule.backend import (
@@ -67,6 +68,8 @@ class IncrementalScheduleBuilder:
         workload: Workload,
         name: str,
         network: str = DEFAULT_NETWORK,
+        initial_avail: Sequence[float] | None = None,
+        initial_nic_free: Sequence[float] | None = None,
     ):
         self._workload = workload
         self._name = name
@@ -76,7 +79,26 @@ class IncrementalScheduleBuilder:
         self._graph = workload.graph
         self._E = workload.exec_times.values.tolist()
         self._finish: dict[int, float] = {}
-        self._machine_avail = [0.0] * workload.num_machines
+        # Online dispatch hands the builder machines already busy with
+        # earlier jobs; EFT queries and the final measurement then price
+        # that in-flight work (default: all idle at 0, the offline case).
+        self._initial_avail = (
+            None if initial_avail is None else [float(a) for a in initial_avail]
+        )
+        self._initial_nic_free = (
+            None
+            if initial_nic_free is None
+            else [float(a) for a in initial_nic_free]
+        )
+        if self._initial_avail is None:
+            self._machine_avail = [0.0] * workload.num_machines
+        else:
+            if len(self._initial_avail) != workload.num_machines:
+                raise ValueError(
+                    f"initial_avail has {len(self._initial_avail)} entries "
+                    f"for {workload.num_machines} machines"
+                )
+            self._machine_avail = self._initial_avail.copy()
         self._machine_of: list[int | None] = [None] * workload.num_tasks
         self._order: list[int] = []
         # NIC-free reservation per machine; only consulted under "nic"
@@ -84,7 +106,15 @@ class IncrementalScheduleBuilder:
         # for its greedy decisions — we cannot guess its semantics —
         # but is still measured through its real backend in to_result).
         self._nic_aware = self._network == NIC_NETWORK
-        self._nic_free = [0.0] * workload.num_machines
+        if self._initial_nic_free is None:
+            self._nic_free = [0.0] * workload.num_machines
+        else:
+            if len(self._initial_nic_free) != workload.num_machines:
+                raise ValueError(
+                    f"initial_nic_free has {len(self._initial_nic_free)} "
+                    f"entries for {workload.num_machines} machines"
+                )
+            self._nic_free = self._initial_nic_free.copy()
         # per consumer: (producer, item) pairs in ascending item order
         incoming: list[list[tuple[int, int]]] = [
             [] for _ in range(workload.num_tasks)
@@ -196,7 +226,12 @@ class IncrementalScheduleBuilder:
             [int(m) for m in self._machine_of],  # type: ignore[arg-type]
             self._workload.num_machines,
         )
-        sim = make_simulator(self._workload, self._network)
+        sim = make_simulator(
+            self._workload,
+            self._network,
+            initial_avail=self._initial_avail,
+            initial_nic_free=self._initial_nic_free,
+        )
         schedule = plain_schedule(sim.evaluate(string))
         if self._network == DEFAULT_NETWORK:
             expected = max(self._finish.values())

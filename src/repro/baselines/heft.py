@@ -16,6 +16,8 @@ documented in DESIGN.md.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.baselines.base import BaselineResult
 from repro.baselines.listsched import list_schedule, upward_ranks
 from repro.model.workload import Workload
@@ -25,7 +27,10 @@ __all__ = ["heft", "upward_ranks"]
 
 
 def heft(
-    workload: Workload, network: str = DEFAULT_NETWORK
+    workload: Workload,
+    network: str = DEFAULT_NETWORK,
+    initial_avail: Sequence[float] | None = None,
+    initial_nic_free: Sequence[float] | None = None,
 ) -> BaselineResult:
     """Schedule *workload* with HEFT; deterministic.
 
@@ -33,7 +38,15 @@ def heft(
     serialisation into every candidate (see
     :class:`~repro.baselines.base.IncrementalScheduleBuilder`) and the
     reported makespan is measured under the contention backend.
+    ``initial_avail`` / ``initial_nic_free`` adapt the EFT phase to
+    machines already busy with earlier jobs (online frontier dispatch —
+    see :mod:`repro.online`).
     """
     return list_schedule(
-        workload, priority="upward_rank", name="heft", network=network
+        workload,
+        priority="upward_rank",
+        name="heft",
+        network=network,
+        initial_avail=initial_avail,
+        initial_nic_free=initial_nic_free,
     )

@@ -18,7 +18,7 @@ Supported priorities:
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 
@@ -109,15 +109,23 @@ def list_schedule(
     priority: Priority = "upward_rank",
     name: str | None = None,
     network: str = DEFAULT_NETWORK,
+    initial_avail: Sequence[float] | None = None,
+    initial_nic_free: Sequence[float] | None = None,
 ) -> BaselineResult:
     """Run the generic list scheduler with the given priority.
 
     *network* selects the cost model the EFT phase (and the reported
     makespan) uses; the rank phase deliberately keeps its mean-cost
     estimates — ranks are a priority heuristic, not a cost claim.
+    ``initial_avail`` / ``initial_nic_free`` schedule onto machines
+    already busy with earlier jobs (online frontier dispatch).
     """
     builder = IncrementalScheduleBuilder(
-        workload, name or f"list-{priority}", network=network
+        workload,
+        name or f"list-{priority}",
+        network=network,
+        initial_avail=initial_avail,
+        initial_nic_free=initial_nic_free,
     )
     for task in task_processing_order(workload, priority):
         machine, _ = builder.best_machine(task)

@@ -16,7 +16,7 @@ non-insertion EFT semantics.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Sequence
 
 from repro.baselines.base import BaselineResult, IncrementalScheduleBuilder
 from repro.model.workload import Workload
@@ -26,11 +26,21 @@ Flavor = Literal["min", "max"]
 
 
 def _ready_list_schedule(
-    workload: Workload, flavor: Flavor, network: str = DEFAULT_NETWORK
+    workload: Workload,
+    flavor: Flavor,
+    network: str = DEFAULT_NETWORK,
+    initial_avail: Sequence[float] | None = None,
+    initial_nic_free: Sequence[float] | None = None,
 ) -> BaselineResult:
     graph = workload.graph
     name = "min-min" if flavor == "min" else "max-min"
-    builder = IncrementalScheduleBuilder(workload, name, network=network)
+    builder = IncrementalScheduleBuilder(
+        workload,
+        name,
+        network=network,
+        initial_avail=initial_avail,
+        initial_nic_free=initial_nic_free,
+    )
 
     indeg = [len(graph.predecessors(t)) for t in range(graph.num_tasks)]
     ready = sorted(t for t in range(graph.num_tasks) if indeg[t] == 0)
@@ -59,22 +69,44 @@ def _ready_list_schedule(
 
 
 def min_min(
-    workload: Workload, network: str = DEFAULT_NETWORK
+    workload: Workload,
+    network: str = DEFAULT_NETWORK,
+    initial_avail: Sequence[float] | None = None,
+    initial_nic_free: Sequence[float] | None = None,
 ) -> BaselineResult:
     """Ready-list Min-min schedule of *workload*; deterministic.
 
     ``network="nic"`` prices NIC serialisation into the completion-time
-    queries and the reported makespan.
+    queries and the reported makespan; ``initial_avail`` /
+    ``initial_nic_free`` dispatch onto machines already busy with
+    earlier jobs (online frontier dispatch).
     """
-    return _ready_list_schedule(workload, "min", network=network)
+    return _ready_list_schedule(
+        workload,
+        "min",
+        network=network,
+        initial_avail=initial_avail,
+        initial_nic_free=initial_nic_free,
+    )
 
 
 def max_min(
-    workload: Workload, network: str = DEFAULT_NETWORK
+    workload: Workload,
+    network: str = DEFAULT_NETWORK,
+    initial_avail: Sequence[float] | None = None,
+    initial_nic_free: Sequence[float] | None = None,
 ) -> BaselineResult:
     """Ready-list Max-min schedule of *workload*; deterministic.
 
     ``network="nic"`` prices NIC serialisation into the completion-time
-    queries and the reported makespan.
+    queries and the reported makespan; ``initial_avail`` /
+    ``initial_nic_free`` dispatch onto machines already busy with
+    earlier jobs (online frontier dispatch).
     """
-    return _ready_list_schedule(workload, "max", network=network)
+    return _ready_list_schedule(
+        workload,
+        "max",
+        network=network,
+        initial_avail=initial_avail,
+        initial_nic_free=initial_nic_free,
+    )

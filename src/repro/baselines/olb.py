@@ -8,19 +8,38 @@ heterogeneity-aware heuristic should beat it on heterogeneous workloads.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.baselines.base import BaselineResult, IncrementalScheduleBuilder
 from repro.model.workload import Workload
 from repro.schedule.backend import DEFAULT_NETWORK
 
 
-def olb(workload: Workload, network: str = DEFAULT_NETWORK) -> BaselineResult:
+def olb(
+    workload: Workload,
+    network: str = DEFAULT_NETWORK,
+    initial_avail: Sequence[float] | None = None,
+    initial_nic_free: Sequence[float] | None = None,
+) -> BaselineResult:
     """Schedule *workload* with OLB; deterministic.
 
     OLB stays communication-blind by definition; *network* only changes
     the cost model the finished schedule is measured under.
+    ``initial_avail`` seeds the earliest-available choice with machines
+    already busy with earlier jobs (online dispatch).
     """
-    builder = IncrementalScheduleBuilder(workload, "olb", network=network)
-    avail = [0.0] * workload.num_machines
+    builder = IncrementalScheduleBuilder(
+        workload,
+        "olb",
+        network=network,
+        initial_avail=initial_avail,
+        initial_nic_free=initial_nic_free,
+    )
+    avail = (
+        [0.0] * workload.num_machines
+        if initial_avail is None
+        else [float(a) for a in initial_avail]
+    )
     for task in workload.graph.topological_order():
         # earliest-available machine, ties -> lowest id
         machine = min(range(workload.num_machines), key=lambda m: (avail[m], m))

@@ -500,6 +500,70 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.online import flow_table, summary_lines
+    from repro.online import (
+        DynamicSimulator,
+        ReoptConfig,
+        load_trace,
+        poisson_stream,
+        rate_for_utilisation,
+        save_trace,
+    )
+    from repro.workloads.presets import WorkloadSpec
+
+    template = WorkloadSpec(
+        num_tasks=args.tasks,
+        num_machines=args.machines,
+        connectivity=args.connectivity,
+        heterogeneity=args.heterogeneity,
+        ccr=args.ccr,
+    )
+    if args.trace_in:
+        stream = load_trace(args.trace_in)
+        print(f"replaying trace {args.trace_in} ({len(stream)} jobs)")
+    else:
+        rate = args.rate
+        if rate is None:
+            rate = rate_for_utilisation(template, args.util)
+            print(
+                f"lambda={rate:.6g} jobs/unit-time "
+                f"(target utilisation {args.util:g})"
+            )
+        stream = poisson_stream(rate, args.jobs, template, seed=args.seed)
+    if args.trace_out:
+        save_trace(stream, args.trace_out)
+        print(f"wrote trace {args.trace_out}")
+
+    reopt = None
+    if args.reopt != "off":
+        reopt = ReoptConfig(
+            interval=args.reopt_interval,
+            engine=args.reopt,
+            max_iterations=args.reopt_budget,
+        )
+    service = DynamicSimulator(
+        stream,
+        network=args.network,
+        policy=args.policy,
+        reopt=reopt,
+        seed=args.seed,
+    )
+    result = service.run()
+
+    if args.log_out:
+        Path(args.log_out).write_text(result.event_log_json() + "\n")
+        print(f"wrote event log {args.log_out}")
+    if args.table:
+        print(flow_table(result))
+        print()
+    for line in summary_lines(result):
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mshc",
@@ -662,6 +726,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="BENCH JSON to print",
     )
     ps.set_defaults(func=_cmd_perf_show)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the online scheduling service over a job stream",
+    )
+    p.add_argument(
+        "--rate",
+        "--lambda",
+        dest="rate",
+        type=float,
+        default=None,
+        help="Poisson arrival rate (jobs per unit simulated time); "
+        "defaults to the rate giving --util offered load",
+    )
+    p.add_argument(
+        "--util",
+        type=float,
+        default=0.7,
+        help="target offered load used when --rate is omitted",
+    )
+    p.add_argument("--jobs", type=int, default=50, help="jobs to generate")
+    p.add_argument(
+        "--policy",
+        default="heft",
+        choices=["heft", "min-min", "max-min", "olb"],
+        help="frontier dispatch policy",
+    )
+    p.add_argument(
+        "--network", default="contention-free", choices=["contention-free", "nic"]
+    )
+    p.add_argument("--tasks", type=int, default=20, help="tasks per job")
+    p.add_argument("--machines", type=int, default=8)
+    p.add_argument(
+        "--connectivity", default="medium", choices=["low", "medium", "high"]
+    )
+    p.add_argument(
+        "--heterogeneity", default="medium", choices=["low", "medium", "high"]
+    )
+    p.add_argument("--ccr", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--reopt",
+        default="off",
+        choices=["off", "sa", "tabu"],
+        help="periodic re-optimisation engine",
+    )
+    p.add_argument(
+        "--reopt-interval",
+        type=float,
+        default=50.0,
+        help="simulated time between re-optimisation windows",
+    )
+    p.add_argument(
+        "--reopt-budget",
+        type=int,
+        default=40,
+        help="engine iterations per job per window",
+    )
+    p.add_argument(
+        "--trace-in", default=None, help="replay a saved arrival trace"
+    )
+    p.add_argument(
+        "--trace-out", default=None, help="save the generated arrival trace"
+    )
+    p.add_argument(
+        "--log-out", default=None, help="write the event log as JSON"
+    )
+    p.add_argument(
+        "--table", action="store_true", help="print the per-job flow table"
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("figure", help="regenerate a paper figure (ASCII)")
     p.add_argument("id", choices=["3a", "3b", "4a", "4b", "5", "6", "7"])

@@ -56,6 +56,19 @@ from repro.schedule.encoding import ScheduleString
 from repro.schedule.simulator import InvalidScheduleError, Schedule
 
 
+def _state_vector(
+    values: Optional[Sequence[float]], l: int, label: str
+) -> list[float]:
+    """Normalise an optional per-machine time vector (default all zero)."""
+    if values is None:
+        return [0.0] * l
+    if len(values) != l:
+        raise ValueError(
+            f"{label} has {len(values)} entries for {l} machines"
+        )
+    return [float(v) for v in values]
+
+
 @dataclass(frozen=True)
 class TransferRecord:
     """One cross-machine transfer as scheduled on the producer's NIC."""
@@ -210,9 +223,16 @@ class ContentionSimulator:
         "_tr",
         "_in_edges",
         "_out_edges",
+        "_avail0",
+        "_nic0",
     )
 
-    def __init__(self, workload: Workload):
+    def __init__(
+        self,
+        workload: Workload,
+        initial_avail: Optional[Sequence[float]] = None,
+        initial_nic_free: Optional[Sequence[float]] = None,
+    ):
         self._workload = workload
         graph = workload.graph
         self._k = graph.num_tasks
@@ -235,6 +255,13 @@ class ContentionSimulator:
             )
             for t in range(self._k)
         ]
+        # Online-service support: seed the walk's machine-availability and
+        # NIC-free vectors from in-flight earlier work (default: idle at 0,
+        # bit-identical to the historical behaviour).
+        self._avail0 = _state_vector(initial_avail, self._l, "initial_avail")
+        self._nic0 = _state_vector(
+            initial_nic_free, self._l, "initial_nic_free"
+        )
 
     @property
     def workload(self) -> Workload:
@@ -257,8 +284,8 @@ class ContentionSimulator:
 
         start = [0.0] * k
         finish = [-1.0] * k
-        machine_avail = [0.0] * l
-        nic_free = [0.0] * l
+        machine_avail = self._avail0[:]
+        nic_free = self._nic0[:]
         arrival = [0.0] * self._p
         transfers: list[TransferRecord] = []
         span = 0.0
@@ -336,8 +363,8 @@ class ContentionSimulator:
         in_edges = self._in_edges
         out_edges = self._out_edges
         finish = [-1.0] * self._k
-        machine_avail = [0.0] * l
-        nic_free = [0.0] * l
+        machine_avail = self._avail0[:]
+        nic_free = self._nic0[:]
         arrival = [0.0] * self._p
         span = 0.0
 
@@ -404,8 +431,8 @@ class ContentionSimulator:
 
         start = [0.0] * k
         finish = [-1.0] * k
-        machine_avail = [0.0] * l
-        nic_free = [0.0] * l
+        machine_avail = self._avail0[:]
+        nic_free = self._nic0[:]
         arrival = [0.0] * self._p
         avail_rows: list[list[float]] = [machine_avail.copy()]
         nic_rows: list[list[float]] = [nic_free.copy()]

@@ -1,0 +1,62 @@
+"""Online scheduling service: streaming DAG arrivals over the simulators.
+
+Public surface of the event-driven layer (see
+:mod:`repro.online.simulator` for the full semantics):
+
+* :class:`~repro.online.arrivals.JobStream` /
+  :func:`~repro.online.arrivals.poisson_stream` /
+  :func:`~repro.online.arrivals.load_trace` — where jobs come from;
+* :class:`~repro.online.simulator.DynamicSimulator` — the event loop;
+* :data:`~repro.online.policies.DISPATCH_POLICIES` /
+  :class:`~repro.online.policies.ReoptConfig` — the decision layers;
+* :func:`~repro.online.metrics.summarize` — flow-time / throughput
+  aggregation.
+"""
+
+from repro.online.arrivals import (
+    JobArrival,
+    JobStream,
+    load_trace,
+    mean_job_work,
+    poisson_stream,
+    rate_for_utilisation,
+    save_trace,
+)
+from repro.online.metrics import (
+    JobRecord,
+    OnlineMetrics,
+    percentile,
+    summarize,
+)
+from repro.online.policies import (
+    DISPATCH_POLICIES,
+    ReoptConfig,
+    dispatch,
+    improve_residual,
+)
+from repro.online.simulator import (
+    CommittedJobView,
+    DynamicSimulator,
+    OnlineResult,
+)
+
+__all__ = [
+    "JobArrival",
+    "JobStream",
+    "load_trace",
+    "mean_job_work",
+    "poisson_stream",
+    "rate_for_utilisation",
+    "save_trace",
+    "JobRecord",
+    "OnlineMetrics",
+    "percentile",
+    "summarize",
+    "DISPATCH_POLICIES",
+    "ReoptConfig",
+    "dispatch",
+    "improve_residual",
+    "CommittedJobView",
+    "DynamicSimulator",
+    "OnlineResult",
+]

@@ -1,0 +1,107 @@
+"""Per-job service metrics: flow time, throughput, tail latency.
+
+The offline library's objective is makespan of one application; a
+service streaming jobs cares about *responsiveness* instead.  The
+canonical quantities (all in simulated time, so they are exactly
+reproducible run-to-run):
+
+* **flow time** of a job — ``t_completed - t_arrival``, the end-to-end
+  latency a submitter observes;
+* **throughput** — completed jobs per unit time over the horizon
+  (first arrival to last completion);
+* **p50 / p99 flow** — median and tail latency, computed with the
+  deterministic nearest-rank rule (no interpolation, so percentiles of
+  integer-valued samples stay exact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Lifecycle of one job through the service."""
+
+    job_id: str
+    t_arrival: float
+    t_dispatch: float
+    t_completed: float
+    num_tasks: int
+
+    @property
+    def flow_time(self) -> float:
+        """End-to-end latency: completion minus arrival."""
+        return self.t_completed - self.t_arrival
+
+    def to_doc(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "t_arrival": self.t_arrival,
+            "t_dispatch": self.t_dispatch,
+            "t_completed": self.t_completed,
+            "num_tasks": self.num_tasks,
+            "flow_time": self.flow_time,
+        }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]); 0.0 for an empty sample."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    xs = sorted(values)
+    if not xs:
+        return 0.0
+    rank = max(1, math.ceil(q * len(xs)))
+    return xs[rank - 1]
+
+
+@dataclass(frozen=True)
+class OnlineMetrics:
+    """Aggregate service metrics over one run (simulated time)."""
+
+    num_jobs: int
+    horizon: float
+    throughput: float
+    mean_flow: float
+    p50_flow: float
+    p99_flow: float
+    max_flow: float
+
+    def to_doc(self) -> dict:
+        return {
+            "num_jobs": self.num_jobs,
+            "horizon": self.horizon,
+            "throughput": self.throughput,
+            "mean_flow": self.mean_flow,
+            "p50_flow": self.p50_flow,
+            "p99_flow": self.p99_flow,
+            "max_flow": self.max_flow,
+        }
+
+
+def summarize(records: Sequence[JobRecord]) -> OnlineMetrics:
+    """Aggregate *records* into an :class:`OnlineMetrics`.
+
+    The horizon runs from the earliest arrival to the latest completion;
+    an empty record set yields all-zero metrics (the empty-stream edge
+    case is legal and tested).
+    """
+    if not records:
+        return OnlineMetrics(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    flows = [r.flow_time for r in records]
+    t0 = min(r.t_arrival for r in records)
+    t1 = max(r.t_completed for r in records)
+    horizon = t1 - t0
+    throughput = len(records) / horizon if horizon > 0 else 0.0
+    return OnlineMetrics(
+        num_jobs=len(records),
+        horizon=horizon,
+        throughput=throughput,
+        mean_flow=sum(flows) / len(flows),
+        p50_flow=percentile(flows, 0.50),
+        p99_flow=percentile(flows, 0.99),
+        max_flow=max(flows),
+    )

@@ -160,6 +160,7 @@ class SimulatedAnnealing:
         workload: Workload,
         observers: Sequence[Observer] = (),
         initial: Optional[ScheduleString] = None,
+        service: Optional[EvaluationService] = None,
     ) -> SearchResult:
         """Optimise *workload*; see module docstring.
 
@@ -172,15 +173,22 @@ class SimulatedAnnealing:
         initial:
             Optional starting string (copied); defaults to a uniformly
             random valid string.
+        service:
+            Optional pre-built :class:`EvaluationService` (must wrap
+            *workload*).  The online service passes one constructed
+            against non-idle machine state, so annealing improves the
+            *residual* schedule; omitted, the engine builds its own from
+            ``config.network`` exactly as before.
         """
         cfg = self.config
         rng = as_rng(cfg.seed)
         graph = workload.graph
-        # SA scores one proposal at a time: the incremental tier is the
-        # hot path, so skip the batch kernel's packing cost entirely.
-        service = EvaluationService(
-            workload, cfg.network, prefer_batch=False
-        )
+        if service is None:
+            # SA scores one proposal at a time: the incremental tier is
+            # the hot path, so skip the batch kernel's packing entirely.
+            service = EvaluationService(
+                workload, cfg.network, prefer_batch=False
+            )
         watch = Stopwatch()
 
         if initial is None:
@@ -253,8 +261,9 @@ def run_sa(
     config: Optional[SAConfig] = None,
     observers: Sequence[Observer] = (),
     initial: Optional[ScheduleString] = None,
+    service: Optional[EvaluationService] = None,
 ) -> SearchResult:
     """Functional convenience wrapper around :class:`SimulatedAnnealing`."""
     return SimulatedAnnealing(config).run(
-        workload, observers=observers, initial=initial
+        workload, observers=observers, initial=initial, service=service
     )

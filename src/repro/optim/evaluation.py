@@ -56,6 +56,13 @@ class EvaluationService:
         a user-facing batch switch (``GAConfig.batch_fitness``) map it
         here, so turning the switch off really disables the kernel
         (including its packing cost) rather than merely hiding it.
+    initial_avail, initial_nic_free:
+        Optional per-machine busy state the backend is constructed
+        against (see :func:`repro.schedule.backend.make_simulator`) —
+        the residual-schedule evaluation mode of the online service:
+        engines handed such a service optimise a job's schedule *given*
+        machines still occupied by earlier jobs.  Batch calls route
+        through the sequential scalar path in this mode.
     """
 
     __slots__ = ("_backend", "_workload", "_network", "_calls")
@@ -65,10 +72,18 @@ class EvaluationService:
         workload: Workload,
         network: str = DEFAULT_NETWORK,
         prefer_batch: bool = True,
+        initial_avail: Optional[Sequence[float]] = None,
+        initial_nic_free: Optional[Sequence[float]] = None,
     ):
         self._workload = workload
         self._network = network
-        self._backend = make_simulator(workload, network, batch=prefer_batch)
+        self._backend = make_simulator(
+            workload,
+            network,
+            batch=prefer_batch,
+            initial_avail=initial_avail,
+            initial_nic_free=initial_nic_free,
+        )
         self._calls = 0
 
     # ------------------------------------------------------------------

@@ -129,6 +129,7 @@ class TabuSearch:
         workload: Workload,
         observers: Sequence[Observer] = (),
         initial: Optional[ScheduleString] = None,
+        service: Optional[EvaluationService] = None,
     ) -> SearchResult:
         """Optimise *workload*; see module docstring.
 
@@ -141,13 +142,22 @@ class TabuSearch:
         initial:
             Optional starting string (copied); defaults to a uniformly
             random valid string.
+        service:
+            Optional pre-built :class:`EvaluationService` (must wrap
+            *workload*).  The online service passes one constructed
+            against non-idle machine state, so the search optimises the
+            *residual* schedule; omitted, the engine builds its own from
+            ``config.network`` exactly as before.
         """
         cfg = self.config
         rng = as_rng(cfg.seed)
         graph = workload.graph
-        # whole neighborhoods score per iteration: the batch tier is the
-        # hot path, so ask for the vectorized kernel where available
-        service = EvaluationService(workload, cfg.network, prefer_batch=True)
+        if service is None:
+            # whole neighborhoods score per iteration: the batch tier is
+            # the hot path, so ask for the vectorized kernel if available
+            service = EvaluationService(
+                workload, cfg.network, prefer_batch=True
+            )
         watch = Stopwatch()
 
         if initial is None:
@@ -223,8 +233,9 @@ def run_tabu(
     config: Optional[TabuConfig] = None,
     observers: Sequence[Observer] = (),
     initial: Optional[ScheduleString] = None,
+    service: Optional[EvaluationService] = None,
 ) -> SearchResult:
     """Functional convenience wrapper around :class:`TabuSearch`."""
     return TabuSearch(config).run(
-        workload, observers=observers, initial=initial
+        workload, observers=observers, initial=initial, service=service
     )

@@ -183,6 +183,8 @@ def make_simulator(
     workload: Workload,
     network: str = DEFAULT_NETWORK,
     batch: bool = False,
+    initial_avail: Optional[Sequence[float]] = None,
+    initial_nic_free: Optional[Sequence[float]] = None,
 ) -> SimulatorBackend:
     """A simulator backend for *workload* under the *network* model.
 
@@ -198,6 +200,16 @@ def make_simulator(
     Scalar-tier methods are forwarded without overhead either way, so a
     batch-wrapped backend is a drop-in :class:`SimulatorBackend`.
 
+    ``initial_avail`` (and, for NIC-style models, ``initial_nic_free``)
+    construct the backend against machines that are already busy with
+    earlier work — the substrate of the online scheduling service
+    (:mod:`repro.online`).  The built-in backends accept both; a custom
+    registered network must accept the corresponding keyword to be used
+    with a non-``None`` value.  Because the vectorized batch kernels pack
+    idle-machine state, a batch request with initial state always routes
+    through the sequential scalar fallback (``is_vectorized`` reports
+    ``False``), keeping results exact.
+
     Raises
     ------
     ValueError
@@ -212,13 +224,18 @@ def make_simulator(
             f"unknown network model {network!r}; available: "
             f"{', '.join(available_networks())}"
         ) from None
-    scalar = factory(workload)
+    kwargs: Dict[str, Any] = {}
+    if initial_avail is not None:
+        kwargs["initial_avail"] = initial_avail
+    if initial_nic_free is not None:
+        kwargs["initial_nic_free"] = initial_nic_free
+    scalar = factory(workload, **kwargs)
     if not batch:
         return scalar
     from repro.schedule.vectorized import BatchBackend, SequentialBatchKernel
 
     kernel_factory = _BATCH_NETWORKS.get(key)
-    if kernel_factory is None:
+    if kernel_factory is None or kwargs:
         kernel = SequentialBatchKernel(scalar)
     else:
         kernel = kernel_factory(workload)

@@ -171,17 +171,37 @@ class Simulator:
     :meth:`evaluate` as often as needed.  For move-probe loops, call
     :meth:`prepare` once per base string and :meth:`evaluate_delta` per
     probe.
+
+    ``initial_avail`` seeds the per-machine availability vector the walk
+    starts from (default: all machines idle at 0).  The online scheduling
+    service uses this to evaluate a job's schedule against machines that
+    are still busy with earlier jobs; all reported start/finish times are
+    then absolute service times, and with an all-zero vector every float
+    operation is identical to the historical idle-machine walk.
     """
 
-    __slots__ = ("_workload", "_k", "_l", "_E", "_tr", "_in_edges")
+    __slots__ = ("_workload", "_k", "_l", "_E", "_tr", "_in_edges", "_avail0")
 
-    def __init__(self, workload: Workload):
+    def __init__(
+        self,
+        workload: Workload,
+        initial_avail: Optional[Sequence[float]] = None,
+    ):
         self._workload = workload
         graph = workload.graph
         self._k = graph.num_tasks
         self._l = workload.num_machines
         self._E = workload.exec_times.values.tolist()
         self._tr = workload.transfer_times.values.tolist()
+        if initial_avail is None:
+            self._avail0 = [0.0] * self._l
+        else:
+            if len(initial_avail) != self._l:
+                raise ValueError(
+                    f"initial_avail has {len(initial_avail)} entries for "
+                    f"{self._l} machines"
+                )
+            self._avail0 = [float(a) for a in initial_avail]
         # Per consumer: tuple of (producer, item) pairs, the data inputs.
         in_edges: list[list[tuple[int, int]]] = [[] for _ in range(self._k)]
         for d in graph.data_items:
@@ -211,7 +231,7 @@ class Simulator:
         in_edges = self._in_edges
         l = self._l
         finish = [-1.0] * self._k
-        machine_avail = [0.0] * l
+        machine_avail = self._avail0[:]
         span = 0.0
 
         for task in order:
@@ -250,7 +270,7 @@ class Simulator:
         k = self._k
         start = [0.0] * k
         finish = [-1.0] * k
-        machine_avail = [0.0] * l
+        machine_avail = self._avail0[:]
         span = 0.0
 
         for task in order:
@@ -311,7 +331,7 @@ class Simulator:
         k = self._k
         start = [0.0] * k
         finish = [-1.0] * k
-        machine_avail = [0.0] * l
+        machine_avail = self._avail0[:]
         avail_rows: list[list[float]] = [machine_avail.copy()]
         span_prefix = [0.0]
         span = 0.0

@@ -49,6 +49,12 @@ class WorkloadSpec:
         same DAG).
     name:
         Optional label for reports.
+    t_arrival:
+        Service arrival time of the job this spec describes (online
+        scheduling, :mod:`repro.online`).  ``0.0`` — the default — is
+        the offline case: the job is present from the start.  Purely
+        metadata for :func:`build_workload`; the online service reads it
+        off the :class:`~repro.online.arrivals.JobStream`.
     """
 
     num_tasks: int = 100
@@ -59,6 +65,7 @@ class WorkloadSpec:
     consistency: str = "inconsistent"
     seed: RandomSource = None
     name: str = ""
+    t_arrival: float = 0.0
 
     def size_class(self) -> str:
         """The paper's small/large vocabulary (threshold at 50 subtasks)."""

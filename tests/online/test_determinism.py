@@ -1,0 +1,159 @@
+"""Determinism and replay guarantees of the online service.
+
+A service run must be an exactly replayable function of
+``(stream, network, policy, reopt, seed)`` — byte-identical serialized
+event logs across runs, across trace save/load round-trips, and across
+``REPRO_WORKERS`` settings (the worker knob parallelises the offline
+runner; nothing in the online loop may read it).  A committed golden
+log additionally pins the full event stream of one small Poisson run
+against accidental semantic drift.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.online import (
+    DynamicSimulator,
+    ReoptConfig,
+    load_trace,
+    poisson_stream,
+    save_trace,
+)
+from repro.workloads.presets import WorkloadSpec
+
+GOLDEN = Path(__file__).parent.parent / "data" / "golden_online_log.json"
+
+TEMPLATE = WorkloadSpec(num_tasks=8, num_machines=3)
+
+
+def _golden_run():
+    stream = poisson_stream(0.004, 5, TEMPLATE, seed=2026)
+    return DynamicSimulator(
+        stream,
+        network="nic",
+        policy="heft",
+        reopt=ReoptConfig(interval=150.0, engine="tabu", max_iterations=15),
+        seed=11,
+    ).run()
+
+
+class TestRunToRunReplay:
+    @pytest.mark.parametrize("network", ["contention-free", "nic"])
+    @pytest.mark.parametrize(
+        "reopt",
+        [
+            None,
+            ReoptConfig(interval=100.0, engine="tabu", max_iterations=10),
+            ReoptConfig(interval=100.0, engine="sa", max_iterations=80),
+        ],
+        ids=["no-reopt", "tabu", "sa"],
+    )
+    def test_identical_event_log_across_runs(self, network, reopt):
+        stream = poisson_stream(0.004, 6, TEMPLATE, seed=7)
+        runs = [
+            DynamicSimulator(
+                stream, network=network, policy="heft", reopt=reopt, seed=3
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].event_log_json() == runs[1].event_log_json()
+        assert runs[0].metrics == runs[1].metrics
+
+    def test_identical_across_repro_workers_settings(self, monkeypatch):
+        logs = []
+        for workers in ("1", "4"):
+            monkeypatch.setenv("REPRO_WORKERS", workers)
+            logs.append(_golden_run().event_log_json())
+        assert logs[0] == logs[1]
+
+
+class TestTraceRoundTrip:
+    def test_save_load_replays_identically(self, tmp_path):
+        stream = poisson_stream(0.003, 6, TEMPLATE, seed=99)
+        path = tmp_path / "trace.json"
+        save_trace(stream, path)
+        replayed = load_trace(path)
+        assert len(replayed) == len(stream)
+        assert [a.job_id for a in replayed] == [a.job_id for a in stream]
+        assert [a.spec for a in replayed] == [a.spec for a in stream]
+
+        a = DynamicSimulator(stream, network="nic").run()
+        b = DynamicSimulator(replayed, network="nic").run()
+        assert a.event_log_json() == b.event_log_json()
+
+    def test_trace_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 999, "jobs": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestGoldenLog:
+    def test_pinned_event_log(self):
+        """The committed golden log reproduces byte-for-byte.
+
+        Regenerate deliberately (after a semantic change to the
+        service) with::
+
+            PYTHONPATH=src python -c "
+            from tests.online.test_determinism import _golden_run, GOLDEN
+            GOLDEN.write_text(_golden_run().event_log_json() + '\\n')"
+        """
+        assert GOLDEN.exists(), f"missing golden log {GOLDEN}"
+        result = _golden_run()
+        assert result.event_log_json() + "\n" == GOLDEN.read_text()
+
+    def test_golden_log_is_wellformed(self):
+        events = json.loads(GOLDEN.read_text())
+        assert isinstance(events, list) and events
+        kinds = {e["type"] for e in events}
+        assert {"arrival", "dispatch", "task_done", "job_done", "reopt"} <= (
+            kinds
+        )
+        times = [e["t"] for e in events]
+        assert times == sorted(times)
+
+
+class TestSeedSensitivity:
+    def test_reopt_seed_changes_are_contained(self):
+        """Different reopt seeds may change schedules, never conservation."""
+        stream = poisson_stream(0.02, 5, TEMPLATE, seed=5)
+        for seed in (0, 1):
+            res = DynamicSimulator(
+                stream,
+                network="nic",
+                policy="heft",
+                reopt=ReoptConfig(
+                    interval=20.0, engine="sa", max_iterations=120
+                ),
+                seed=seed,
+            ).run()
+            assert res.metrics.num_jobs == len(stream)
+
+
+def test_no_wall_clock_in_event_log():
+    """Log events carry only simulated-time keys, never wall-clock."""
+    res = _golden_run()
+    for e in res.events:
+        assert set(e) <= {
+            "t",
+            "type",
+            "job",
+            "task",
+            "policy",
+            "tasks",
+            "finish",
+            "window",
+            "rolled_back",
+            "improved",
+        }
+
+
+def test_environment_is_not_consulted():
+    """The loop never reads os.environ during a run (spot check)."""
+    before = dict(os.environ)
+    _golden_run()
+    assert dict(os.environ) == before

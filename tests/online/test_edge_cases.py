@@ -1,0 +1,160 @@
+"""Edge cases of the online service, each pinned explicitly.
+
+The five scenarios the property suite would only hit by luck:
+
+1. the empty stream;
+2. simultaneous arrivals (tie-break = stream order, documented);
+3. a job arriving exactly at another job's completion instant
+   (completion processed first, also documented);
+4. a re-optimisation window firing with zero residual tasks;
+5. a re-optimisation deadline so tight every incumbent is kept — which
+   must be a *true no-op*: identical records to a run with no
+   re-optimisation at all (the bit-identical re-commit guarantee).
+"""
+
+from dataclasses import replace
+
+from repro.online import (
+    DynamicSimulator,
+    JobArrival,
+    JobStream,
+    ReoptConfig,
+)
+from repro.workloads.presets import WorkloadSpec
+
+SPEC = WorkloadSpec(num_tasks=6, num_machines=2, seed=13)
+
+
+def _jobs(*times, spec=SPEC):
+    return JobStream(
+        [
+            JobArrival(f"j{i}", replace(spec, seed=100 + i, t_arrival=t))
+            for i, t in enumerate(times)
+        ]
+    )
+
+
+class TestEmptyStream:
+    def test_run_is_trivial(self):
+        result = DynamicSimulator(JobStream([])).run()
+        assert result.records == ()
+        assert result.events == ()
+        assert result.jobs == ()
+        assert result.metrics.num_jobs == 0
+        assert result.metrics.throughput == 0.0
+        assert result.event_log_json() == "[]"
+
+    def test_reopt_never_ticks_on_empty_stream(self):
+        result = DynamicSimulator(
+            JobStream([]),
+            reopt=ReoptConfig(interval=1.0, max_iterations=5),
+        ).run()
+        assert result.events == ()
+
+
+class TestSimultaneousArrivals:
+    def test_tie_break_is_stream_order(self):
+        stream = _jobs(5.0, 5.0, 5.0)
+        result = DynamicSimulator(stream).run()
+        arrived = [e["job"] for e in result.events if e["type"] == "arrival"]
+        assert arrived == ["j0", "j1", "j2"]
+        dispatched = [
+            e["job"] for e in result.events if e["type"] == "dispatch"
+        ]
+        assert dispatched == ["j0", "j1", "j2"]
+
+    def test_later_jobs_see_earlier_commitments(self):
+        """Same-instant jobs stack up: no two schedules share machine
+        time even though all three arrived together."""
+        stream = _jobs(0.0, 0.0, 0.0)
+        result = DynamicSimulator(stream).run()
+        spans = []
+        for job in result.jobs:
+            s = job.schedule
+            spans += [
+                (s.machine_of[t], s.start[t], s.finish[t]) for t in s.order
+            ]
+        spans.sort()
+        for (m0, s0, f0), (m1, s1, f1) in zip(spans, spans[1:]):
+            if m0 == m1:
+                assert s1 >= f0 - 1e-9
+
+
+class TestArrivalAtCompletionInstant:
+    def test_completion_events_precede_the_arrival(self):
+        # first run: learn when the solo job completes
+        solo = DynamicSimulator(_jobs(0.0)).run()
+        t_done = solo.records[0].t_completed
+        # second run: a new job arrives exactly then
+        stream = _jobs(0.0, t_done)
+        result = DynamicSimulator(stream).run()
+        at_instant = [e for e in result.events if e["t"] == t_done]
+        kinds = [e["type"] for e in at_instant]
+        assert "arrival" in kinds
+        # every completion logged at that instant sorts before the
+        # arrival — the pinned priority order
+        assert kinds.index("job_done") < kinds.index("arrival")
+        for e in at_instant:
+            if e["type"] in ("task_done", "job_done"):
+                assert kinds.index(e["type"]) < kinds.index("arrival")
+
+    def test_job_one_sees_machines_from_its_arrival_onwards(self):
+        solo = DynamicSimulator(_jobs(0.0)).run()
+        t_done = solo.records[0].t_completed
+        result = DynamicSimulator(_jobs(0.0, t_done)).run()
+        second = result.jobs[1]
+        assert min(second.schedule.start) >= t_done
+
+
+class TestReoptWithZeroResidual:
+    def test_window_is_a_noop_when_everything_started(self):
+        """A single job starting at t=0 leaves nothing to roll back."""
+        reopt = ReoptConfig(interval=1.0, engine="tabu", max_iterations=10)
+        with_reopt = DynamicSimulator(_jobs(0.0), reopt=reopt, seed=4).run()
+        without = DynamicSimulator(_jobs(0.0)).run()
+
+        ticks = [e for e in with_reopt.events if e["type"] == "reopt"]
+        assert ticks, "expected at least one reopt window"
+        assert all(e["rolled_back"] == 0 for e in ticks)
+        assert all(e["improved"] == 0 for e in ticks)
+        # the committed schedule is untouched
+        assert with_reopt.records == without.records
+        assert (
+            with_reopt.jobs[0].schedule.finish
+            == without.jobs[0].schedule.finish
+        )
+
+    def test_ticking_stops_once_all_jobs_complete(self):
+        reopt = ReoptConfig(interval=1.0, engine="tabu", max_iterations=5)
+        result = DynamicSimulator(_jobs(0.0), reopt=reopt).run()
+        t_done = result.records[0].t_completed
+        last_tick = max(
+            e["t"] for e in result.events if e["type"] == "reopt"
+        )
+        assert last_tick <= t_done + reopt.interval
+
+
+class TestZeroBudgetWindow:
+    def test_tight_deadline_keeps_every_incumbent_bit_identically(self):
+        """max_iterations=0 rolls jobs back and re-commits them; the
+        outcome must equal a run with re-optimisation disabled."""
+        # burst of simultaneous jobs guarantees non-trivial rollbacks
+        stream = _jobs(0.0, 0.0, 0.0, 10.0)
+        frozen = DynamicSimulator(
+            stream,
+            network="nic",
+            reopt=ReoptConfig(interval=7.0, engine="sa", max_iterations=0),
+            seed=9,
+        ).run()
+        plain = DynamicSimulator(stream, network="nic").run()
+
+        ticks = [e for e in frozen.events if e["type"] == "reopt"]
+        assert any(e["rolled_back"] > 0 for e in ticks), (
+            "scenario failed to exercise rollback"
+        )
+        assert all(e["improved"] == 0 for e in ticks)
+        # records and final schedules are bit-identical to no-reopt
+        assert frozen.records == plain.records
+        for a, b in zip(frozen.jobs, plain.jobs):
+            assert a.schedule.start == b.schedule.start
+            assert a.schedule.finish == b.schedule.finish

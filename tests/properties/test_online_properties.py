@@ -1,0 +1,181 @@
+"""Property tests for the online scheduling service.
+
+Four contracts pin :class:`repro.online.DynamicSimulator`:
+
+* **Conservation** — every subtask of every arrived job completes
+  exactly once, and every job emits exactly one ``job_done``, under any
+  arrival pattern, backend, policy and re-optimisation setting (stale
+  events from rolled-back commitments must never double-fire).
+* **Machine exclusivity** — committed schedules never overlap on a
+  machine, *across jobs*, even though each job was scheduled against a
+  snapshot of the pool.
+* **Event-time monotonicity** — the logged event stream never goes
+  backwards in time, and same-instant ordering follows the pinned
+  priorities (completions before arrivals before re-optimisation).
+* **Offline equivalence** — a single job arriving at ``t = 0`` with no
+  re-optimisation reproduces the offline baseline schedule
+  **bit-identically** (``==`` on every start/finish, no tolerance) on
+  both the contention-free and the NIC backends.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.online import DynamicSimulator, JobArrival, JobStream, ReoptConfig
+from repro.schedule.backend import make_simulator
+from repro.online.policies import DISPATCH_POLICIES, dispatch
+from repro.workloads.presets import WorkloadSpec, build_workload
+from tests.strategies import arrival_traces
+
+NETWORKS = ("contention-free", "nic")
+POLICIES = tuple(sorted(DISPATCH_POLICIES))
+
+#: Small optional reopt configs (None = disabled) exercised by the
+#: stateful properties; tiny budgets keep examples fast while still
+#: driving the rollback/epoch machinery.
+REOPTS = (
+    None,
+    ReoptConfig(interval=25.0, engine="tabu", max_iterations=4),
+    ReoptConfig(interval=40.0, engine="sa", max_iterations=30),
+)
+
+service_params = st.tuples(
+    st.sampled_from(NETWORKS),
+    st.sampled_from(POLICIES),
+    st.sampled_from(REOPTS),
+    st.integers(0, 2**31 - 1),
+)
+
+
+class TestConservation:
+    @given(arrival_traces(), service_params)
+    @settings(max_examples=40, deadline=None)
+    def test_every_task_completes_exactly_once(self, stream, params):
+        network, policy, reopt, seed = params
+        result = DynamicSimulator(
+            stream, network=network, policy=policy, reopt=reopt, seed=seed
+        ).run()
+
+        done: dict[str, dict[int, int]] = {}
+        job_done: dict[str, int] = {}
+        for e in result.events:
+            if e["type"] == "task_done":
+                done.setdefault(e["job"], {})
+                done[e["job"]][e["task"]] = (
+                    done[e["job"]].get(e["task"], 0) + 1
+                )
+            elif e["type"] == "job_done":
+                job_done[e["job"]] = job_done.get(e["job"], 0) + 1
+
+        for arr in stream:
+            k = arr.spec.num_tasks
+            counts = done.get(arr.job_id, {})
+            assert sorted(counts) == list(range(k)), (
+                f"job {arr.job_id}: completed tasks {sorted(counts)} != "
+                f"expected 0..{k - 1}"
+            )
+            assert all(c == 1 for c in counts.values()), (
+                f"job {arr.job_id}: some task completed more than once"
+            )
+            assert job_done.get(arr.job_id) == 1
+        assert len(result.records) == len(stream)
+
+
+class TestMachineExclusivity:
+    @given(arrival_traces(min_jobs=1), service_params)
+    @settings(max_examples=40, deadline=None)
+    def test_no_cross_job_overlap_per_machine(self, stream, params):
+        network, policy, reopt, seed = params
+        result = DynamicSimulator(
+            stream, network=network, policy=policy, reopt=reopt, seed=seed
+        ).run()
+
+        spans: dict[int, list[tuple[float, float, str]]] = {}
+        for job in result.jobs:
+            sched = job.schedule
+            for t in sched.order:
+                m = sched.machine_of[t]
+                spans.setdefault(m, []).append(
+                    (sched.start[t], sched.finish[t], job.job_id)
+                )
+        for m, ss in spans.items():
+            ss.sort()
+            for (s0, f0, j0), (s1, f1, j1) in zip(ss, ss[1:]):
+                assert s1 >= f0 - 1e-9, (
+                    f"machine {m}: [{s0:.6f},{f0:.6f}] of {j0} overlaps "
+                    f"[{s1:.6f},{f1:.6f}] of {j1}"
+                )
+
+
+class TestEventMonotonicity:
+    #: pinned same-instant ordering (see simulator module docstring)
+    _RANK = {
+        "task_done": 0,
+        "job_done": 1,
+        "arrival": 2,
+        "dispatch": 2,
+        "reopt": 3,
+    }
+
+    @given(arrival_traces(), service_params)
+    @settings(max_examples=40, deadline=None)
+    def test_log_times_never_go_backwards(self, stream, params):
+        network, policy, reopt, seed = params
+        result = DynamicSimulator(
+            stream, network=network, policy=policy, reopt=reopt, seed=seed
+        ).run()
+        keys = [(e["t"], self._RANK[e["type"]]) for e in result.events]
+        assert keys == sorted(keys), "event log is not time-ordered"
+
+    @given(arrival_traces(min_jobs=1), service_params)
+    @settings(max_examples=25, deadline=None)
+    def test_no_event_precedes_its_jobs_arrival(self, stream, params):
+        network, policy, reopt, seed = params
+        result = DynamicSimulator(
+            stream, network=network, policy=policy, reopt=reopt, seed=seed
+        ).run()
+        t_arrival = {a.job_id: a.t_arrival for a in stream}
+        for e in result.events:
+            if "job" in e:
+                assert e["t"] >= t_arrival[e["job"]] - 0.0, (
+                    f"{e['type']} for {e['job']} at {e['t']} precedes "
+                    f"its arrival at {t_arrival[e['job']]}"
+                )
+
+
+class TestOfflineEquivalence:
+    @given(
+        st.sampled_from(NETWORKS),
+        st.sampled_from(POLICIES),
+        st.integers(1, 10),
+        st.integers(1, 4),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_job_at_t0_matches_offline_bit_identically(
+        self, network, policy, num_tasks, num_machines, seed
+    ):
+        spec = WorkloadSpec(
+            num_tasks=num_tasks,
+            num_machines=num_machines,
+            seed=seed,
+        )
+        stream = JobStream([JobArrival("solo", spec)])
+        result = DynamicSimulator(
+            stream, network=network, policy=policy
+        ).run()
+        assert len(result.jobs) == 1
+        online = result.jobs[0]
+
+        workload = build_workload(spec)
+        offline = dispatch(policy, workload, network)
+        assert online.string == offline.string
+        # bit-identical, not approximately equal
+        assert online.schedule.start == offline.schedule.start
+        assert online.schedule.finish == offline.schedule.finish
+        assert online.schedule.makespan == offline.makespan
+        sim = make_simulator(workload, network)
+        assert online.schedule.makespan == sim.makespan(
+            offline.string.order, offline.string.machines
+        )
+        assert result.records[0].t_completed == offline.makespan

@@ -80,3 +80,49 @@ def graph_strings(draw, **kwargs):
     seed = draw(st.integers(0, 2**32 - 1))
     s = random_valid_string(graph, l, seed)
     return graph, l, s
+
+
+#: Arrival instants mix a small shared grid with free floats so exact
+#: ties (simultaneous arrivals) are drawn often, not almost never.
+_ARRIVAL_GRID = (0.0, 1.0, 2.5, 10.0, 50.0)
+
+
+@st.composite
+def arrival_traces(
+    draw,
+    min_jobs: int = 0,
+    max_jobs: int = 4,
+    max_tasks: int = 6,
+    max_machines: int = 3,
+):
+    """A small :class:`repro.online.JobStream` over one machine pool.
+
+    Jobs are declarative :class:`~repro.workloads.presets.WorkloadSpec`
+    recipes (distinct seeded DAGs of varying size/class) with arrival
+    times that frequently coincide, exercising the service's
+    same-instant tie-breaks.
+    """
+    from repro.online import JobArrival, JobStream
+    from repro.workloads.presets import WorkloadSpec
+
+    l = draw(st.integers(1, max_machines))
+    n = draw(st.integers(min_jobs, max_jobs))
+    arrivals = []
+    for i in range(n):
+        t = draw(
+            st.one_of(
+                st.sampled_from(_ARRIVAL_GRID),
+                st.floats(0.0, 200.0, allow_nan=False, allow_infinity=False),
+            )
+        )
+        spec = WorkloadSpec(
+            num_tasks=draw(st.integers(1, max_tasks)),
+            num_machines=l,
+            connectivity=draw(st.sampled_from(("low", "medium", "high"))),
+            heterogeneity=draw(st.sampled_from(("low", "medium", "high"))),
+            ccr=draw(st.sampled_from((0.1, 0.5, 1.0))),
+            seed=draw(st.integers(0, 2**31 - 1)),
+            t_arrival=t,
+        )
+        arrivals.append(JobArrival(job_id=f"job-{i}", spec=spec))
+    return JobStream(arrivals)

@@ -166,9 +166,12 @@ class TestPerfCheckCli:
         out = capsys.readouterr().out
         assert "speedup" in out and "abc1234" in out
 
-    def test_committed_baseline_is_loadable_and_ratio_only(self):
+    def test_committed_baseline_is_loadable_and_machine_portable(self):
         """The baseline shipped in-repo must parse and pin only
-        machine-portable ratio metrics (see repro.perf docstring)."""
+        machine-portable metrics (see repro.perf docstring): dimensionless
+        speedup ratios ("x"), plus MICRO-ONLINE's *simulated*-time flow
+        latencies ("s"), which are exactly deterministic in the pinned
+        seeds — wall-clock measurements must never be baselined."""
         from pathlib import Path
 
         baseline = (
@@ -179,7 +182,14 @@ class TestPerfCheckCli:
         )
         records = perf.load_records(baseline)
         assert records, "committed baseline must not be empty"
-        assert {r.unit for r in records} == {"x"}
+        assert {r.unit for r in records} <= {"x", "s"}
+        for r in records:
+            if r.unit == "s":
+                assert r.bench == "MICRO-ONLINE", (
+                    f"{r.key}: only MICRO-ONLINE's simulated-time metrics "
+                    "may carry a time unit in the committed baseline"
+                )
         keys = {r.key for r in records}
         assert ("MICRO-BATCH-GA", "speedup") in keys
         assert ("MICRO-DELTA", "speedup") in keys
+        assert ("MICRO-ONLINE", "mean_flow") in keys
