@@ -32,6 +32,11 @@ from repro.analysis.compare import (
     series_from_trace,
     tabu_runner,
 )
+from repro.analysis.pareto import (
+    cheapest_within,
+    pareto_front,
+    pareto_table,
+)
 from repro.analysis.report import (
     ExperimentRecord,
     markdown_table,
@@ -92,6 +97,9 @@ __all__ = [
     "GridResult",
     "grid_from_experiment",
     "run_grid",
+    "cheapest_within",
+    "pareto_front",
+    "pareto_table",
     "flow_table",
     "summary_lines",
 ]

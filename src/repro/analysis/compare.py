@@ -18,7 +18,7 @@ from repro.baselines.ga import GAConfig, GeneticAlgorithm
 from repro.core.config import SEConfig
 from repro.core.engine import SimulatedEvolution
 from repro.model.workload import Workload
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import DEFAULT_NETWORK, DEFAULT_PLATFORM
 from repro.utils.rng import RandomSource
 
 #: A runner takes (workload, time_limit_seconds) and returns a trace.
@@ -274,16 +274,16 @@ def se_vs_ga(
     )
 
 
-def _sa_base(network: str):
+def _sa_base(network: str, platform: str):
     from repro.optim import SAConfig  # deferred: repro.optim is a higher layer
 
-    return SAConfig(network=network)
+    return SAConfig(network=network, platform=platform)
 
 
-def _tabu_base(network: str):
+def _tabu_base(network: str, platform: str):
     from repro.optim import TabuConfig  # deferred: see _sa_base
 
-    return TabuConfig(network=network)
+    return TabuConfig(network=network, platform=platform)
 
 
 #: Runner factories for :func:`compare_named`, keyed by algorithm name.
@@ -295,16 +295,22 @@ def _tabu_base(network: str):
 #: with a registered batch kernel (both built-ins) accelerates here
 #: automatically — the runners never hard-code a scalar simulator.
 _NAMED_RUNNERS = {
-    "se": lambda seed, network: se_runner(
-        SEConfig(selection_bias=COMPARISON_SE_BIAS, network=network),
+    "se": lambda seed, network, platform: se_runner(
+        SEConfig(
+            selection_bias=COMPARISON_SE_BIAS,
+            network=network,
+            platform=platform,
+        ),
         seed=seed,
     ),
-    "ga": lambda seed, network: ga_runner(
-        GAConfig(network=network), seed=seed
+    "ga": lambda seed, network, platform: ga_runner(
+        GAConfig(network=network, platform=platform), seed=seed
     ),
-    "sa": lambda seed, network: sa_runner(_sa_base(network), seed=seed),
-    "tabu": lambda seed, network: tabu_runner(
-        _tabu_base(network), seed=seed
+    "sa": lambda seed, network, platform: sa_runner(
+        _sa_base(network, platform), seed=seed
+    ),
+    "tabu": lambda seed, network, platform: tabu_runner(
+        _tabu_base(network, platform), seed=seed
     ),
 }
 
@@ -316,6 +322,7 @@ def compare_named(
     grid_points: int = 20,
     seed: RandomSource = None,
     network: str = DEFAULT_NETWORK,
+    platform: str = DEFAULT_PLATFORM,
 ) -> ComparisonResult:
     """Head-to-head among any of the iterative engines by name.
 
@@ -328,7 +335,9 @@ def compare_named(
     *network* selects the simulator backend every engine optimises
     against (``repro compare --network nic`` races the engines under
     NIC contention; batch-scoring engines pick up the network's
-    vectorized kernel automatically).
+    vectorized kernel automatically).  *platform* races them on one
+    machine catalog (speed-scaled matrix + boot state; the default
+    ``"uniform"`` changes nothing).
     """
     from repro.utils.rng import spawn_rngs
 
@@ -345,7 +354,7 @@ def compare_named(
         raise ValueError(f"duplicate algorithm names in {names}")
     rngs = spawn_rngs(seed, len(names))
     runners = {
-        name.upper(): _NAMED_RUNNERS[name](rng, network)
+        name.upper(): _NAMED_RUNNERS[name](rng, network, platform)
         for name, rng in zip(names, rngs)
     }
     return compare_algorithms(

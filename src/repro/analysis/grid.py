@@ -29,7 +29,7 @@ from repro.model.workload import Workload
 from repro.runner.pool import ProgressFn, run_experiment
 from repro.runner.results import ExperimentResult
 from repro.runner.spec import AlgorithmSpec, ExperimentSpec
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import DEFAULT_NETWORK, DEFAULT_PLATFORM
 from repro.schedule.metrics import normalized_makespan
 from repro.workloads.suite import WorkloadSuite
 
@@ -46,7 +46,9 @@ class GridCellResult:
 
     ``network`` records which simulator backend produced the makespan
     (``"contention-free"`` | ``"nic"`` | custom), so mixed-scenario
-    grids stay disaggregable.
+    grids stay disaggregable.  ``platform`` / ``cost`` carry the
+    machine-catalog scenario and the winning schedule's dollar cost
+    (0.0 on the free default ``"uniform"`` platform).
     """
 
     workload_name: str
@@ -57,6 +59,8 @@ class GridCellResult:
     makespan: float
     normalized: float
     network: str = DEFAULT_NETWORK
+    platform: str = DEFAULT_PLATFORM
+    cost: float = 0.0
 
 
 @dataclass
@@ -107,6 +111,7 @@ class GridResult:
         heterogeneity: str | None = None,
         ccr: float | None = None,
         network: str | None = None,
+        platform: str | None = None,
         rel_tol: float = 1e-3,
     ) -> WinLossRecord:
         """Win/loss of *algo_a* vs *algo_b*, optionally class-restricted.
@@ -114,8 +119,8 @@ class GridResult:
         ``rel_tol`` treats makespans within 0.1% as ties by default —
         stochastic heuristics routinely land that close.  ``network``
         restricts the record to cells scored under one simulator
-        backend (makespans from different cost models are not
-        comparable head-to-head).
+        backend, ``platform`` to one machine catalog (makespans from
+        different cost models are not comparable head-to-head).
         """
 
         def predicate(cell: GridCellResult) -> bool:
@@ -126,6 +131,8 @@ class GridResult:
             if ccr is not None and cell.ccr != ccr:
                 return False
             if network is not None and cell.network != network:
+                return False
+            if platform is not None and cell.platform != platform:
                 return False
             return True
 
@@ -184,6 +191,8 @@ def grid_from_experiment(result: ExperimentResult) -> GridResult:
                 makespan=c.makespan,
                 normalized=c.normalized,
                 network=c.network,
+                platform=c.platform,
+                cost=c.cost,
             )
         )
     return grid

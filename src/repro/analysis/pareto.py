@@ -1,0 +1,118 @@
+"""Pareto-front analysis over (makespan, cost) measurements.
+
+The optimisation layer *accumulates* fronts as a side effect of search
+(:class:`~repro.optim.tracking.ParetoTracker` attached to an
+:class:`~repro.optim.evaluation.EvaluationService`); this module is the
+reporting end: filter any bag of scored points down to its non-dominated
+front, render it as a markdown table, and answer the study question the
+platform benchmarks ask — "what is the cheapest schedule within a factor
+of the best makespan?".
+
+>>> front = pareto_front([(10.0, 5.0), (12.0, 3.0), (11.0, 6.0)])
+>>> [(p.makespan, p.cost) for p in front]
+[(10.0, 5.0), (12.0, 3.0)]
+>>> cheapest_within(front, factor=1.2).cost
+3.0
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro.analysis.report import markdown_table
+from repro.optim.tracking import ParetoPoint, ParetoTracker
+
+#: A scored point: ``(makespan, cost)``, ``(makespan, cost, candidate)``,
+#: a :class:`ParetoPoint`, or any object with ``makespan``/``cost``
+#: attributes (e.g. a runner ``CellResult`` or a grid cell).
+Scored = Union[ParetoPoint, Sequence[float], Any]
+
+
+def _as_point(item: Scored) -> tuple[float, float, Any]:
+    if isinstance(item, ParetoPoint):
+        return item.makespan, item.cost, item.candidate
+    if hasattr(item, "makespan") and hasattr(item, "cost"):
+        return float(item.makespan), float(item.cost), item
+    seq = tuple(item)
+    if len(seq) == 2:
+        return float(seq[0]), float(seq[1]), None
+    if len(seq) == 3:
+        return float(seq[0]), float(seq[1]), seq[2]
+    raise TypeError(
+        f"cannot interpret {item!r} as a (makespan, cost[, candidate]) point"
+    )
+
+
+def pareto_front(points: Iterable[Scored]) -> list[ParetoPoint]:
+    """The non-dominated subset of *points*, sorted by makespan.
+
+    Accepts bare pairs/triples, :class:`ParetoPoint` values, or any
+    objects carrying ``makespan`` and ``cost`` attributes (the objects
+    themselves become the front members' candidates).  Dominance and
+    tie handling follow :class:`~repro.optim.tracking.ParetoTracker`,
+    so the result is insertion-order independent and duplicate-free.
+    """
+    tracker = ParetoTracker(copy=lambda c: c)  # reporting: no deep copies
+    for item in points:
+        makespan, cost, candidate = _as_point(item)
+        tracker.offer(makespan, cost, candidate)
+    return tracker.front
+
+
+def cheapest_within(
+    front: Iterable[Scored], factor: float = 1.2
+) -> ParetoPoint:
+    """The cheapest point whose makespan is within ``factor`` of best.
+
+    This is the headline number of the platform study: how much money a
+    small makespan concession buys.  *front* need not be pre-filtered —
+    any iterable of scored points works.  Raises :class:`ValueError` on
+    an empty input or ``factor < 1``.
+    """
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor!r}")
+    points = pareto_front(front)
+    if not points:
+        raise ValueError("no points to choose from")
+    limit = points[0].makespan * factor  # front is makespan-sorted
+    eligible = [p for p in points if p.makespan <= limit]
+    return min(eligible, key=lambda p: (p.cost, p.makespan))
+
+
+def pareto_table(
+    front: Iterable[Scored],
+    label: Optional[Callable[[ParetoPoint], str]] = None,
+    reference: Optional[ParetoPoint] = None,
+) -> str:
+    """Markdown table of a front: makespan, cost, and relative columns.
+
+    ``x best span`` is each point's makespan relative to the front's
+    best; ``cost vs ref`` (only with a *reference* point, typically the
+    pure-makespan winner) is the cost saving against that reference.
+    *label* optionally renders each point's candidate as a row name.
+    """
+    points = pareto_front(front)
+    if not points:
+        return markdown_table(["makespan", "cost (usd)", "x best span"], [])
+    best_span = points[0].makespan
+    headers = ["makespan", "cost (usd)", "x best span"]
+    if label is not None:
+        headers.insert(0, "schedule")
+    if reference is not None:
+        headers.append("cost vs ref")
+    rows: list[list[object]] = []
+    for p in points:
+        row: list[object] = [
+            f"{p.makespan:.3f}",
+            f"{p.cost:.4f}",
+            f"{p.makespan / best_span:.3f}x" if best_span > 0 else "-",
+        ]
+        if label is not None:
+            row.insert(0, label(p))
+        if reference is not None:
+            if reference.cost > 0:
+                row.append(f"{(1.0 - p.cost / reference.cost) * 100:+.1f}%")
+            else:
+                row.append("-")
+        rows.append(row)
+    return markdown_table(headers, rows)

@@ -24,9 +24,12 @@ from typing import Sequence
 from repro.model.workload import Workload
 from repro.schedule.backend import (
     DEFAULT_NETWORK,
+    DEFAULT_PLATFORM,
     NIC_NETWORK,
     make_simulator,
     plain_schedule,
+    platform_state,
+    resolve_platform,
 )
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.simulator import Schedule
@@ -36,9 +39,11 @@ from repro.schedule.simulator import Schedule
 class BaselineResult:
     """Outcome of a (usually deterministic) baseline scheduler.
 
-    ``makespan`` is measured under the ``network`` backend the baseline
-    ran with (recorded here so downstream tables can tell the scenarios
-    apart).
+    ``makespan`` is measured under the ``network`` backend (and
+    ``platform`` catalog) the baseline ran with — recorded here so
+    downstream tables can tell the scenarios apart.  ``cost`` is the
+    schedule's dollar cost under the platform's billing table (0.0 on
+    the free ``"uniform"`` platform).
     """
 
     name: str
@@ -47,6 +52,8 @@ class BaselineResult:
     makespan: float
     evaluations: int = 0
     network: str = DEFAULT_NETWORK
+    platform: str = DEFAULT_PLATFORM
+    cost: float = 0.0
 
 
 class IncrementalScheduleBuilder:
@@ -70,12 +77,35 @@ class IncrementalScheduleBuilder:
         network: str = DEFAULT_NETWORK,
         initial_avail: Sequence[float] | None = None,
         initial_nic_free: Sequence[float] | None = None,
+        platform=DEFAULT_PLATFORM,
     ):
-        self._workload = workload
+        self._source = workload
         self._name = name
         # normalised like make_simulator resolves it, so the exactness
         # cross-check and the NIC pricing key on the actual backend
         self._network = network.lower()
+        # The platform transform (speed-scaled E, boot folded into the
+        # machine state) is applied up front so every EFT query prices
+        # it; to_result re-measures through make_simulator with the
+        # *original* inputs + platform, which applies the identical
+        # transform.  On "uniform" all three pass through unchanged.
+        self._platform = resolve_platform(platform)
+        self._given_avail = (
+            None if initial_avail is None else [float(a) for a in initial_avail]
+        )
+        self._given_nic_free = (
+            None
+            if initial_nic_free is None
+            else [float(a) for a in initial_nic_free]
+        )
+        workload, initial_avail, initial_nic_free = platform_state(
+            workload,
+            self._platform,
+            network=self._network,
+            initial_avail=self._given_avail,
+            initial_nic_free=self._given_nic_free,
+        )
+        self._workload = workload
         self._graph = workload.graph
         self._E = workload.exec_times.values.tolist()
         self._finish: dict[int, float] = {}
@@ -130,6 +160,23 @@ class IncrementalScheduleBuilder:
     @property
     def network(self) -> str:
         return self._network
+
+    @property
+    def platform(self) -> str:
+        """Canonical name of the platform the builder prices against."""
+        return self._platform.name
+
+    @property
+    def effective_workload(self) -> Workload:
+        """The workload EFT queries price — the platform's speed-scaled
+        matrix (the original object on ``"uniform"``).  Rank/priority
+        phases read this so their heuristics see the same machine model
+        the schedule is measured under."""
+        return self._workload
+
+    def machine_avail_snapshot(self) -> list[float]:
+        """Copy of the current per-machine availability (boot included)."""
+        return self._machine_avail.copy()
 
     def _ready_time(self, task: int, machine: int, commit: bool) -> float:
         """Earliest time all inputs of *task* are available on *machine*.
@@ -227,10 +274,11 @@ class IncrementalScheduleBuilder:
             self._workload.num_machines,
         )
         sim = make_simulator(
-            self._workload,
+            self._source,
             self._network,
-            initial_avail=self._initial_avail,
-            initial_nic_free=self._initial_nic_free,
+            initial_avail=self._given_avail,
+            initial_nic_free=self._given_nic_free,
+            platform=self._platform,
         )
         schedule = plain_schedule(sim.evaluate(string))
         if self._network == DEFAULT_NETWORK:
@@ -240,6 +288,7 @@ class IncrementalScheduleBuilder:
                     f"builder makespan {expected} disagrees with simulator "
                     f"{schedule.makespan}; cost models diverged"
                 )
+        cm = getattr(sim, "cost_model", None)
         return BaselineResult(
             name=self._name,
             string=string,
@@ -247,4 +296,6 @@ class IncrementalScheduleBuilder:
             makespan=schedule.makespan,
             evaluations=evaluations,
             network=self._network,
+            platform=self._platform.name,
+            cost=cm.cost(string.machines) if cm is not None else 0.0,
         )

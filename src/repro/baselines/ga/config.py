@@ -14,8 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.optim.objective import resolve_objective
 from repro.optim.stop import StopPolicy
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    DEFAULT_PLATFORM,
+    resolve_platform,
+)
 from repro.utils.rng import RandomSource
 
 
@@ -69,6 +74,13 @@ class GAConfig:
         Simulator backend name the run optimises against (extension
         beyond Wang et al.): ``"contention-free"`` (default) or
         ``"nic"`` — see :mod:`repro.schedule.backend`.
+    platform:
+        Platform (machine catalog) name the run is costed against; the
+        default ``"uniform"`` reproduces the historical behaviour bit
+        for bit (see :mod:`repro.model.platform`).
+    objective:
+        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — the
+        fitness scalar (see :mod:`repro.optim.objective`).
     seed:
         Seed / generator for all stochastic choices.
     """
@@ -83,6 +95,8 @@ class GAConfig:
     incremental_evaluation: bool = True
     batch_fitness: bool = True
     network: str = DEFAULT_NETWORK
+    platform: str = DEFAULT_PLATFORM
+    objective: str = "makespan"
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -117,6 +131,8 @@ class GAConfig:
             raise ValueError(
                 f"network must be a backend name string, got {self.network!r}"
             )
+        resolve_platform(self.platform)
+        resolve_objective(self.objective)
 
     def stop_policy(self) -> StopPolicy:
         """The run's stopping rules as a shared :class:`StopPolicy`.

@@ -138,7 +138,11 @@ class GeneticAlgorithm:
         # routes batch scoring through the network's kernel; only a
         # genuinely vectorized kernel replaces the scalar paths.
         service = EvaluationService(
-            workload, cfg.network, prefer_batch=cfg.batch_fitness
+            workload,
+            cfg.network,
+            prefer_batch=cfg.batch_fitness,
+            platform=cfg.platform,
+            objective=cfg.objective,
         )
         use_batch = cfg.batch_fitness and service.is_vectorized
 
@@ -266,10 +270,17 @@ class GeneticAlgorithm:
         out = loop.run(float(initial_best.cost), initial_best, step, watch=watch)
 
         best_string = out.best.to_string(l)
+        best_schedule = service.schedule_of(best_string)
         return GAResult(
             best_string=best_string,
-            best_makespan=float(out.best.cost),
-            best_schedule=service.schedule_of(best_string),
+            # under a weighted objective the chromosome cost is the
+            # scalar; report the schedule's real makespan in that mode
+            best_makespan=(
+                float(out.best.cost)
+                if service.objective.is_makespan
+                else best_schedule.makespan
+            ),
+            best_schedule=best_schedule,
             trace=out.trace,
             generations=out.iterations,
             evaluations=service.evaluations,

@@ -21,7 +21,7 @@ from typing import Sequence
 from repro.baselines.base import BaselineResult
 from repro.baselines.listsched import list_schedule, upward_ranks
 from repro.model.workload import Workload
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import DEFAULT_NETWORK, DEFAULT_PLATFORM
 
 __all__ = ["heft", "upward_ranks"]
 
@@ -31,6 +31,7 @@ def heft(
     network: str = DEFAULT_NETWORK,
     initial_avail: Sequence[float] | None = None,
     initial_nic_free: Sequence[float] | None = None,
+    platform=DEFAULT_PLATFORM,
 ) -> BaselineResult:
     """Schedule *workload* with HEFT; deterministic.
 
@@ -40,7 +41,8 @@ def heft(
     reported makespan is measured under the contention backend.
     ``initial_avail`` / ``initial_nic_free`` adapt the EFT phase to
     machines already busy with earlier jobs (online frontier dispatch —
-    see :mod:`repro.online`).
+    see :mod:`repro.online`).  *platform* prices a machine catalog into
+    ranks, EFT queries and the reported makespan/cost.
     """
     return list_schedule(
         workload,
@@ -49,4 +51,5 @@ def heft(
         network=network,
         initial_avail=initial_avail,
         initial_nic_free=initial_nic_free,
+        platform=platform,
     )

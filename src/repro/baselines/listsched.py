@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineResult, IncrementalScheduleBuilder
 from repro.model.workload import Workload
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import DEFAULT_NETWORK, DEFAULT_PLATFORM
 
 Priority = Literal["upward_rank", "downward_rank", "level"]
 
@@ -111,6 +111,7 @@ def list_schedule(
     network: str = DEFAULT_NETWORK,
     initial_avail: Sequence[float] | None = None,
     initial_nic_free: Sequence[float] | None = None,
+    platform=DEFAULT_PLATFORM,
 ) -> BaselineResult:
     """Run the generic list scheduler with the given priority.
 
@@ -119,6 +120,10 @@ def list_schedule(
     estimates — ranks are a priority heuristic, not a cost claim.
     ``initial_avail`` / ``initial_nic_free`` schedule onto machines
     already busy with earlier jobs (online frontier dispatch).
+    *platform* prices a machine catalog (speed/boot) into the EFT
+    queries, the ranks and the reported makespan/cost (see
+    :mod:`repro.model.platform`); the default ``"uniform"`` changes
+    nothing.
     """
     builder = IncrementalScheduleBuilder(
         workload,
@@ -126,8 +131,10 @@ def list_schedule(
         network=network,
         initial_avail=initial_avail,
         initial_nic_free=initial_nic_free,
+        platform=platform,
     )
-    for task in task_processing_order(workload, priority):
+    # rank against the same speed-scaled matrix EFT queries price
+    for task in task_processing_order(builder.effective_workload, priority):
         machine, _ = builder.best_machine(task)
         builder.place(task, machine)
     return builder.to_result(evaluations=workload.num_tasks)

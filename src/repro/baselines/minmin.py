@@ -20,7 +20,7 @@ from typing import Literal, Sequence
 
 from repro.baselines.base import BaselineResult, IncrementalScheduleBuilder
 from repro.model.workload import Workload
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import DEFAULT_NETWORK, DEFAULT_PLATFORM
 
 Flavor = Literal["min", "max"]
 
@@ -31,6 +31,7 @@ def _ready_list_schedule(
     network: str = DEFAULT_NETWORK,
     initial_avail: Sequence[float] | None = None,
     initial_nic_free: Sequence[float] | None = None,
+    platform=DEFAULT_PLATFORM,
 ) -> BaselineResult:
     graph = workload.graph
     name = "min-min" if flavor == "min" else "max-min"
@@ -40,6 +41,7 @@ def _ready_list_schedule(
         network=network,
         initial_avail=initial_avail,
         initial_nic_free=initial_nic_free,
+        platform=platform,
     )
 
     indeg = [len(graph.predecessors(t)) for t in range(graph.num_tasks)]
@@ -73,13 +75,16 @@ def min_min(
     network: str = DEFAULT_NETWORK,
     initial_avail: Sequence[float] | None = None,
     initial_nic_free: Sequence[float] | None = None,
+    platform=DEFAULT_PLATFORM,
 ) -> BaselineResult:
     """Ready-list Min-min schedule of *workload*; deterministic.
 
     ``network="nic"`` prices NIC serialisation into the completion-time
     queries and the reported makespan; ``initial_avail`` /
     ``initial_nic_free`` dispatch onto machines already busy with
-    earlier jobs (online frontier dispatch).
+    earlier jobs (online frontier dispatch).  *platform* prices a
+    machine catalog (speed/boot) into the queries and the reported
+    makespan/cost.
     """
     return _ready_list_schedule(
         workload,
@@ -87,6 +92,7 @@ def min_min(
         network=network,
         initial_avail=initial_avail,
         initial_nic_free=initial_nic_free,
+        platform=platform,
     )
 
 
@@ -95,13 +101,16 @@ def max_min(
     network: str = DEFAULT_NETWORK,
     initial_avail: Sequence[float] | None = None,
     initial_nic_free: Sequence[float] | None = None,
+    platform=DEFAULT_PLATFORM,
 ) -> BaselineResult:
     """Ready-list Max-min schedule of *workload*; deterministic.
 
     ``network="nic"`` prices NIC serialisation into the completion-time
     queries and the reported makespan; ``initial_avail`` /
     ``initial_nic_free`` dispatch onto machines already busy with
-    earlier jobs (online frontier dispatch).
+    earlier jobs (online frontier dispatch).  *platform* prices a
+    machine catalog (speed/boot) into the queries and the reported
+    makespan/cost.
     """
     return _ready_list_schedule(
         workload,
@@ -109,4 +118,5 @@ def max_min(
         network=network,
         initial_avail=initial_avail,
         initial_nic_free=initial_nic_free,
+        platform=platform,
     )

@@ -12,7 +12,7 @@ from typing import Sequence
 
 from repro.baselines.base import BaselineResult, IncrementalScheduleBuilder
 from repro.model.workload import Workload
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import DEFAULT_NETWORK, DEFAULT_PLATFORM
 
 
 def olb(
@@ -20,13 +20,15 @@ def olb(
     network: str = DEFAULT_NETWORK,
     initial_avail: Sequence[float] | None = None,
     initial_nic_free: Sequence[float] | None = None,
+    platform=DEFAULT_PLATFORM,
 ) -> BaselineResult:
     """Schedule *workload* with OLB; deterministic.
 
     OLB stays communication-blind by definition; *network* only changes
     the cost model the finished schedule is measured under.
     ``initial_avail`` seeds the earliest-available choice with machines
-    already busy with earlier jobs (online dispatch).
+    already busy with earlier jobs (online dispatch); a *platform* with
+    boot delays seeds it with each machine's boot time.
     """
     builder = IncrementalScheduleBuilder(
         workload,
@@ -34,12 +36,11 @@ def olb(
         network=network,
         initial_avail=initial_avail,
         initial_nic_free=initial_nic_free,
+        platform=platform,
     )
-    avail = (
-        [0.0] * workload.num_machines
-        if initial_avail is None
-        else [float(a) for a in initial_avail]
-    )
+    # the builder's availability already folds initial_avail and any
+    # platform boot delays together
+    avail = builder.machine_avail_snapshot()
     for task in workload.graph.topological_order():
         # earliest-available machine, ties -> lowest id
         machine = min(range(workload.num_machines), key=lambda m: (avail[m], m))

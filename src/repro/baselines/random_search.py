@@ -27,7 +27,7 @@ from repro.analysis.trace import ConvergenceTrace, IterationRecord
 from repro.baselines.base import BaselineResult
 from repro.model.workload import Workload
 from repro.optim import BestTracker, EvaluationService, StopPolicy
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import DEFAULT_NETWORK, DEFAULT_PLATFORM
 from repro.schedule.operations import random_valid_string
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.timers import Stopwatch
@@ -41,6 +41,8 @@ def random_search(
     trace: Optional[ConvergenceTrace] = None,
     network: str = DEFAULT_NETWORK,
     batch_size: int = 128,
+    platform=DEFAULT_PLATFORM,
+    objective: str = "makespan",
 ) -> BaselineResult:
     """Best of *samples* uniformly random valid strings.
 
@@ -65,6 +67,14 @@ def random_search(
         Chunk size for vectorized scoring (>= 1).  Chunking applies on
         backends with a batch kernel; results are bit-identical to the
         scalar loop either way.
+    platform:
+        Platform (machine catalog) name samples are priced against; the
+        default ``"uniform"`` changes nothing (see
+        :mod:`repro.model.platform`).
+    objective:
+        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — the
+        scalar the best sample minimises (see
+        :mod:`repro.optim.objective`).
     """
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
@@ -73,7 +83,13 @@ def random_search(
     rng = as_rng(seed)
     # only pay for kernel packing when chunked scoring is requested
     want_batch = batch_size > 1
-    service = EvaluationService(workload, network, prefer_batch=want_batch)
+    service = EvaluationService(
+        workload,
+        network,
+        prefer_batch=want_batch,
+        platform=platform,
+        objective=objective,
+    )
     use_batch = want_batch and service.is_vectorized
     policy = StopPolicy(max_iterations=samples, time_limit=time_limit)
     watch = Stopwatch()
@@ -111,11 +127,21 @@ def random_search(
                 )
 
     best_string = tracker.best  # drawn >= 1 by construction
+    schedule = service.schedule_of(best_string)
+    cm = service.cost_model
     return BaselineResult(
         name="random-search",
         string=best_string,
-        schedule=service.schedule_of(best_string),
-        makespan=tracker.best_cost,
+        schedule=schedule,
+        # under a weighted objective tracker.best_cost is the scalar;
+        # report the schedule's real makespan in that mode
+        makespan=(
+            tracker.best_cost
+            if service.objective.is_makespan
+            else schedule.makespan
+        ),
         evaluations=drawn,
         network=network,
+        platform=service.platform,
+        cost=cm.cost(best_string.machines) if cm is not None else 0.0,
     )

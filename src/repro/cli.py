@@ -15,7 +15,11 @@ Subcommands
 * ``sweep``      — a parallel algorithms × workload-grid × seeds sweep
   through :mod:`repro.runner` (``--workers N``, resume via ``--cache``),
   with JSON/CSV artifacts and a league table; ``--network nic`` runs
-  every algorithm against the NIC-contention backend.
+  every algorithm against the NIC-contention backend, ``--platform``
+  costs every cell against a priced machine catalog.
+* ``pareto``     — trace the (makespan, cost) front of one preset on a
+  priced platform: one SA/tabu run per scalarization weight, all
+  sharing one Pareto tracker, plus the cheapest-within-1.2x pick.
 * ``export``     — write artifacts to disk: the workload as JSON, its
   DAG as Graphviz DOT, and an SE schedule as JSON + SVG Gantt chart.
 * ``perf``       — performance tracking: ``perf check`` gates a fresh
@@ -93,7 +97,35 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _platform_cost_model(w: Workload, platform: str):
+    """``(effective workload, CostModel | None)`` of *w* on *platform*.
+
+    ``None`` on the free uniform platform, where cost is identically 0
+    and the effective workload is *w* itself.
+    """
+    from repro.schedule.backend import resolve_platform
+    from repro.schedule.scoring import CostModel
+
+    spec = resolve_platform(platform)
+    if spec.is_uniform:
+        return w, None
+    bound = spec.bind(w.num_machines)
+    scaled = bound.apply(w)
+    return scaled, CostModel(scaled.exec_times.values, bound.prices)
+
+
+def _check_platform(command: str, platform: str) -> None:
+    """Turn an unknown ``--platform`` into a clean CLI error."""
+    from repro.schedule.backend import resolve_platform
+
+    try:
+        resolve_platform(platform)
+    except ValueError as exc:
+        raise SystemExit(f"{command}: {exc}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _check_platform("run", args.platform)
     w = _load_workload(args.preset, args.seed)
     algo = args.algo
     if args.verbose:
@@ -105,6 +137,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{_batch_mode(args.network)} "
             "(applies when the algorithm batch-scores)"
         )
+        print("platform catalogs (--platform) and their cost paths:")
+        print(_platforms_listing())
     if algo == "se":
         res = run_se(
             w,
@@ -115,6 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 y_candidates=args.y,
                 selection_bias=args.bias,
                 network=args.network,
+                platform=args.platform,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -130,6 +165,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 max_generations=args.iterations,
                 time_limit=args.budget,
                 network=args.network,
+                platform=args.platform,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -147,6 +183,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 max_iterations=args.iterations * 50,
                 time_limit=args.budget,
                 network=args.network,
+                platform=args.platform,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -162,6 +199,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 max_iterations=args.iterations,
                 time_limit=args.budget,
                 network=args.network,
+                platform=args.platform,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -175,16 +213,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "minmin": min_min,
             "maxmin": max_min,
             "olb": olb,
-            "random": lambda w, network: random_search(
-                w, samples=args.iterations, seed=args.seed, network=network
+            "random": lambda w, network, platform: random_search(
+                w,
+                samples=args.iterations,
+                seed=args.seed,
+                network=network,
+                platform=platform,
             ),
         }
-        res = fns[algo](w, network=args.network)
+        res = fns[algo](w, network=args.network, platform=args.platform)
         schedule, makespan = res.schedule, res.makespan
         print(f"{res.name} finished ({res.evaluations} evaluations)")
 
-    print(f"\nmakespan ({args.network}): {makespan:.2f}\n")
-    print(compute_metrics(w, schedule).describe())
+    print(f"\nmakespan ({args.network}): {makespan:.2f}")
+    # metrics (and billing) against the workload the run actually
+    # scored: the platform's speed-scaled matrix, or w itself on uniform
+    eff, cost_model = _platform_cost_model(w, args.platform)
+    if cost_model is not None:
+        machines = (
+            res.string if hasattr(res, "string") else res.best_string
+        ).machines
+        print(
+            f"cost ({args.platform}): "
+            f"{cost_model.cost(machines):.4f} usd"
+        )
+    print()
+    print(compute_metrics(eff, schedule).describe())
     if args.gantt:
         print("\n" + Timeline(schedule, w.num_machines).render_ascii())
     return 0
@@ -207,6 +261,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             grid_points=args.points,
             seed=args.seed,
             network=args.network,
+            platform=args.platform,
         )
     except ValueError as exc:
         raise SystemExit(f"compare: {exc}")
@@ -250,6 +305,33 @@ def _batch_mode(network: str) -> str:
     )
 
 
+def _platforms_listing() -> str:
+    """Every registered platform with its cost-scoring path.
+
+    A platform with boot delays carries per-machine initial state, which
+    routes batch scoring through the sequential scalar fallback; the
+    zero-boot catalogs keep the vectorized kernel (and its vectorized
+    cost gather).  Listing the mode keeps that routing visible.
+    """
+    from repro.schedule.backend import (
+        available_platforms,
+        platform_cost_vectorized,
+        resolve_platform,
+    )
+
+    lines = []
+    for name in available_platforms():
+        spec = resolve_platform(name)
+        mode = (
+            "vectorized"
+            if platform_cost_vectorized(name)
+            else "sequential scalar fallback (boot delays)"
+        )
+        detail = spec.description or f"{len(spec.instances)} instance types"
+        lines.append(f"  {name:10s} cost scoring: {mode:40s} {detail}")
+    return "\n".join(lines)
+
+
 def _networks_listing() -> str:
     """Every network model with its batch-evaluation mode.
 
@@ -270,6 +352,8 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
     print(_algorithms_listing())
     print("\nnetwork models (--network) and their batch kernels:")
     print(_networks_listing())
+    print("\nplatform catalogs (--platform) and their cost paths:")
+    print(_platforms_listing())
     return 0
 
 
@@ -333,6 +417,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     from repro.workloads import WorkloadSuite
 
+    _check_platform("sweep", args.platform)
     algos = [a.strip().lower() for a in args.algos.split(",") if a.strip()]
     unknown = sorted(set(algos) - set(available_algorithms()))
     if unknown:
@@ -342,7 +427,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
 
     def algo_spec(kind: str) -> AlgorithmSpec:
-        network = {"network": args.network}
+        network = {"network": args.network, "platform": args.platform}
         if kind in ("se", "hybrid", "tabu"):
             params = {"max_iterations": args.iterations}
             if args.budget is not None:
@@ -422,6 +507,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print("\nleague (geometric-mean normalized makespan, lower = better):")
     for algo, score in grid.league_table():
         print(f"  {algo:10s} {score:.3f}")
+    if args.platform != "uniform":
+        print(f"\nmean schedule cost on {args.platform!r} (usd):")
+        for algo in grid.algorithms:
+            costs = [c.cost for c in grid.cells if c.algorithm == algo]
+            print(f"  {algo:10s} {sum(costs) / len(costs):.4f}")
     pairs = [(a, b) for a in grid.algorithms for b in grid.algorithms if a < b]
     for a, b in pairs[:6]:
         rec = grid.win_loss(a, b)
@@ -434,6 +524,121 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(f"wrote {result.save_json(out / f'{args.name}.json')}")
         print(f"wrote {result.save_csv(out / f'{args.name}.csv')}")
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    """Trace the (makespan, cost) front of one preset on one platform.
+
+    One SA/tabu run per scalarization weight, every run sharing one
+    :class:`~repro.optim.tracking.ParetoTracker` through its
+    :class:`~repro.optim.evaluation.EvaluationService` — every point any
+    run scores is offered, so the front is finer than the per-weight
+    winners alone.  Objectives are normalized by a HEFT reference point
+    so a cost weight in [0, 1] reads as "fraction of the scalar devoted
+    to cost".
+    """
+    from repro.analysis.pareto import cheapest_within, pareto_table
+    from repro.optim import ParetoTracker
+    from repro.optim.evaluation import EvaluationService
+
+    _check_platform("pareto", args.platform)
+    w = _load_workload(args.preset, args.seed)
+    if args.platform == "uniform":
+        raise SystemExit(
+            "pareto: the uniform platform has no billing table (cost is "
+            "identically 0) — pick a priced catalog, e.g. --platform spot"
+        )
+    try:
+        weights = sorted(
+            float(x) for x in args.weights.split(",") if x.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"pareto: bad --weights {args.weights!r}")
+    if not weights or not all(0.0 <= wc <= 1.0 for wc in weights):
+        raise SystemExit("pareto: --weights must be numbers in [0, 1]")
+
+    ref = heft(w, network=args.network, platform=args.platform)
+    print(
+        f"HEFT reference on {args.platform!r}: makespan "
+        f"{ref.makespan:.3f}, cost {ref.cost:.4f} usd"
+    )
+    span_scale = 1.0 / max(ref.makespan, 1e-12)
+    cost_scale = 1.0 / max(ref.cost, 1e-12)
+
+    tracker = ParetoTracker()
+    tracker.offer(ref.makespan, ref.cost)
+    ref_point = None  # the pure-makespan engine run's scored best
+    for i, wc in enumerate(weights):
+        objective = (
+            "makespan"
+            if wc == 0.0
+            else f"weighted:{(1.0 - wc) * span_scale!r}:{wc * cost_scale!r}"
+        )
+        service = EvaluationService(
+            w,
+            args.network,
+            prefer_batch=False,
+            platform=args.platform,
+            objective=objective,
+            pareto=tracker,
+        )
+        if args.algo == "sa":
+            res = run_sa(
+                w,
+                SAConfig(
+                    seed=args.seed + i,
+                    max_iterations=args.iterations * 50,
+                    time_limit=args.budget,
+                    record_every=50,
+                    network=args.network,
+                    platform=args.platform,
+                    objective=objective,
+                ),
+                service=service,
+            )
+        else:
+            res = run_tabu(
+                w,
+                TabuConfig(
+                    seed=args.seed + i,
+                    max_iterations=args.iterations,
+                    time_limit=args.budget,
+                    network=args.network,
+                    platform=args.platform,
+                    objective=objective,
+                ),
+                service=service,
+            )
+        score = service.score_of(res.best_string)
+        if wc == 0.0 and ref_point is None:
+            ref_point = score
+        print(
+            f"  w_cost={wc:.2f}: makespan {score.makespan:.3f}, "
+            f"cost {score.cost:.4f} usd ({res.evaluations} evaluations)"
+        )
+
+    front = tracker.front
+    if ref_point is None:  # no pure-makespan run: anchor on the front
+        ref_point = front[0]
+    print(
+        f"\npareto front — {len(front)} points "
+        f"from {tracker.offers} scored offers:"
+    )
+    print(pareto_table(front, reference=ref_point))
+    pick = cheapest_within(front, factor=args.factor)
+    saving = (
+        (1.0 - pick.cost / ref_point.cost) * 100.0
+        if ref_point.cost > 0
+        else 0.0
+    )
+    print(
+        f"\ncheapest within {args.factor:g}x of best makespan: "
+        f"makespan {pick.makespan:.3f} "
+        f"({pick.makespan / front[0].makespan:.3f}x), "
+        f"cost {pick.cost:.4f} usd "
+        f"({saving:.1f}% cheaper than the reference schedule)"
+    )
     return 0
 
 
@@ -605,11 +810,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["contention-free", "nic"],
         help="simulator backend: paper model or NIC serialisation",
     )
+    p.add_argument(
+        "--platform",
+        default="uniform",
+        help="machine catalog the run is costed against "
+        "(see `repro algorithms`; default changes nothing)",
+    )
     p.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
     p.add_argument(
         "--verbose",
         action="store_true",
-        help="also print backend details (batch kernel vs scalar fallback)",
+        help="also print backend details (batch kernel vs scalar "
+        "fallback, platform cost paths)",
     )
     p.set_defaults(func=_cmd_run)
 
@@ -631,6 +843,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="contention-free",
         choices=["contention-free", "nic"],
         help="simulator backend every engine optimises against",
+    )
+    p.add_argument(
+        "--platform",
+        default="uniform",
+        help="machine catalog every engine races on",
     )
     p.set_defaults(func=_cmd_compare)
 
@@ -676,6 +893,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["contention-free", "nic"],
         help="simulator backend every algorithm optimises against",
     )
+    p.add_argument(
+        "--platform",
+        default="uniform",
+        help="machine catalog every algorithm is costed against "
+        "(adds a cost column to the artifacts)",
+    )
     p.add_argument("--workers", type=int, default=1, help="process count")
     p.add_argument("--cache", default=None, help="resume-cache directory")
     p.add_argument("--out", default=None, help="write JSON+CSV artifacts here")
@@ -694,6 +917,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--iterations", type=int, default=150)
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "pareto",
+        help="trace the (makespan, cost) front on a priced platform",
+    )
+    p.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--algo",
+        default="sa",
+        choices=["sa", "tabu"],
+        help="engine run once per weight (sa and tabu accept a shared "
+        "evaluation service)",
+    )
+    p.add_argument(
+        "--platform",
+        default="spot",
+        help="priced machine catalog (uniform is rejected: cost is 0)",
+    )
+    p.add_argument(
+        "--network", default="contention-free",
+        choices=["contention-free", "nic"],
+    )
+    p.add_argument(
+        "--weights",
+        default="0,0.2,0.4,0.6,0.8",
+        help="comma list of cost weights in [0, 1] (0 = pure makespan)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=100,
+        help="per-weight iteration cap (sa gets 50 proposals per unit)",
+    )
+    p.add_argument(
+        "--budget", type=float, default=None, help="seconds per weight"
+    )
+    p.add_argument(
+        "--factor",
+        type=float,
+        default=1.2,
+        help="makespan slack factor for the cheapest-within pick",
+    )
+    p.set_defaults(func=_cmd_pareto)
 
     p = sub.add_parser("perf", help="performance tracking utilities")
     perf_sub = p.add_subparsers(dest="perf_command", required=True)

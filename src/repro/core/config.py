@@ -24,8 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Optional
 
+from repro.optim.objective import resolve_objective
 from repro.optim.stop import StopPolicy
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    DEFAULT_PLATFORM,
+    resolve_platform,
+)
 from repro.utils.rng import RandomSource
 
 AllocationSlots = Literal["per-machine", "all-positions"]
@@ -96,6 +101,14 @@ class SEConfig:
         :mod:`repro.extensions.contention`).  Resolved through
         :func:`repro.schedule.backend.make_simulator`, so downstream
         models registered with ``register_network`` work too.
+    platform:
+        Platform (machine catalog) name the run is costed against; the
+        default ``"uniform"`` reproduces the historical behaviour bit
+        for bit (see :mod:`repro.model.platform`).
+    objective:
+        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — the
+        scalar evaluation/allocation optimise (see
+        :mod:`repro.optim.objective`).
     seed:
         Seed / generator for all stochastic choices of the run.
 
@@ -115,6 +128,8 @@ class SEConfig:
     allocation_slots: AllocationSlots = "per-machine"
     probe_evaluation: ProbeEvaluation = "delta"
     network: str = DEFAULT_NETWORK
+    platform: str = DEFAULT_PLATFORM
+    objective: str = "makespan"
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -159,6 +174,8 @@ class SEConfig:
             raise ValueError(
                 f"network must be a backend name string, got {self.network!r}"
             )
+        resolve_platform(self.platform)
+        resolve_objective(self.objective)
 
     def stop_policy(self) -> StopPolicy:
         """The run's stopping rules as a shared :class:`StopPolicy`."""

@@ -108,19 +108,26 @@ class SimulatedEvolution:
         rng = as_rng(cfg.seed)
         graph = workload.graph
         # The backend is the objective: "nic" makes every probe, commit
-        # and best-makespan account for NIC serialisation.  With
+        # and best-makespan account for NIC serialisation; a non-default
+        # platform/objective makes them cost-aware.  With
         # probe_evaluation="batch" the service routes candidate-set
         # scoring through the network's batch kernel.
         service = EvaluationService(
             workload,
             cfg.network,
             prefer_batch=cfg.probe_evaluation == "batch",
+            platform=cfg.platform,
+            objective=cfg.objective,
         )
-        goodness = GoodnessEvaluator(workload)
+        # Goodness and the allocator's machine ranking read the workload
+        # the backend actually scores — the platform's speed-scaled
+        # matrix (the original object on "uniform", so nothing moves).
+        eff = service.effective_workload
+        goodness = GoodnessEvaluator(eff)
         bias = cfg.resolved_bias(graph.num_tasks)
         y = cfg.resolved_y(workload.num_machines)
         allocator = Allocator(
-            workload,
+            eff,
             service.backend,
             y_candidates=y,
             slots=cfg.allocation_slots,
@@ -138,8 +145,13 @@ class SimulatedEvolution:
             string = initial.copy()
 
         watch = Stopwatch()
-        current = service.schedule_of(string)
-        service.count(1)  # the initial full evaluation
+        # prepare() both scores the initial string (counted, exactly as
+        # the historical full evaluation was) and yields its schedule;
+        # under a weighted objective state.makespan is the scalar the
+        # loop compares while the decoded schedule stays real.
+        state0 = service.prepare(string.order, string.machines)
+        current = state0.as_schedule()
+        current_cost = state0.makespan
 
         def step(iteration: int) -> StepOutcome[ScheduleString]:
             nonlocal bias, current
@@ -159,7 +171,9 @@ class SimulatedEvolution:
             service.count(alloc.trials)
             current = alloc.schedule
             return StepOutcome(
-                cost=current.makespan,
+                # the backend's scalar: the makespan, or the weighted
+                # objective when one is configured
+                cost=alloc.makespan,
                 candidate=string,
                 num_selected=len(selected),
                 mean_goodness=float(np.mean(g)),
@@ -170,12 +184,19 @@ class SimulatedEvolution:
             observers=observers,
             evaluations=lambda: service.evaluations,
         )
-        out = loop.run(current.makespan, string, step, watch=watch)
+        out = loop.run(current_cost, string, step, watch=watch)
 
+        best_schedule = service.schedule_of(out.best)
         return SEResult(
             best_string=out.best,
-            best_makespan=out.best_cost,
-            best_schedule=service.schedule_of(out.best),
+            # under a weighted objective out.best_cost is the scalar;
+            # report the schedule's real makespan in that mode
+            best_makespan=(
+                out.best_cost
+                if service.objective.is_makespan
+                else best_schedule.makespan
+            ),
+            best_schedule=best_schedule,
             trace=out.trace,
             iterations=out.iterations,
             evaluations=service.evaluations,

@@ -53,6 +53,7 @@ from typing import Optional, Sequence
 from repro.model.workload import Workload
 from repro.schedule.backend import register_network
 from repro.schedule.encoding import ScheduleString
+from repro.schedule.scoring import CostModel, ScheduleScore
 from repro.schedule.simulator import InvalidScheduleError, Schedule
 
 
@@ -225,6 +226,7 @@ class ContentionSimulator:
         "_out_edges",
         "_avail0",
         "_nic0",
+        "_cost_model",
     )
 
     def __init__(
@@ -232,8 +234,10 @@ class ContentionSimulator:
         workload: Workload,
         initial_avail: Optional[Sequence[float]] = None,
         initial_nic_free: Optional[Sequence[float]] = None,
+        cost_model: Optional[CostModel] = None,
     ):
         self._workload = workload
+        self._cost_model = cost_model
         graph = workload.graph
         self._k = graph.num_tasks
         self._l = workload.num_machines
@@ -403,6 +407,30 @@ class ContentionSimulator:
     def string_makespan(self, string: ScheduleString) -> float:
         """Makespan of a :class:`ScheduleString` (thin convenience)."""
         return self.makespan(string.order, string.machines)
+
+    @property
+    def cost_model(self) -> Optional[CostModel]:
+        """The platform billing table, or ``None`` on the uniform
+        platform (``score`` then reports cost 0.0)."""
+        return self._cost_model
+
+    def score(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> ScheduleScore:
+        """The schedule's ``(makespan, cost, busy)`` triple under NIC
+        contention.  Cost billing is per-task busy time, so it is the
+        same arithmetic as the contention-free model — only the
+        makespan component changes with the network."""
+        cm = self._cost_model
+        if cm is None:
+            cm = self._cost_model = CostModel.zero(
+                self._workload.exec_times.values
+            )
+        return cm.score(machine_of, self.makespan(order, machine_of))
+
+    def string_score(self, string: ScheduleString) -> ScheduleScore:
+        """:meth:`score` of an encoded :class:`ScheduleString`."""
+        return self.score(string.order, string.machines)
 
     def finish_times(self, string: ScheduleString) -> list[float]:
         """Per-subtask finish times under contention — SE's ``Ci``."""

@@ -14,6 +14,14 @@ from repro.model.matrices import (
     num_pairs,
     pair_index,
 )
+from repro.model.platform import (
+    CLOUD_PLATFORM,
+    SPOT_PLATFORM,
+    UNIFORM_PLATFORM,
+    BoundPlatform,
+    InstanceType,
+    PlatformSpec,
+)
 from repro.model.sample import (
     FIGURE2_PAIRS,
     PAPER_O4,
@@ -33,6 +41,12 @@ __all__ = [
     "TransferTimeMatrix",
     "num_pairs",
     "pair_index",
+    "InstanceType",
+    "PlatformSpec",
+    "BoundPlatform",
+    "UNIFORM_PLATFORM",
+    "CLOUD_PLATFORM",
+    "SPOT_PLATFORM",
     "FIGURE2_PAIRS",
     "PAPER_O4",
     "paper_sample_graph",

@@ -18,7 +18,12 @@ that machine once:
   engine);
 * :class:`~repro.optim.evaluation.EvaluationService` — backend
   selection plus transparent single / incremental-delta / batch scoring
-  with built-in ``evaluations`` accounting;
+  with built-in ``evaluations`` accounting; the ``platform`` /
+  ``objective`` / ``pareto`` parameters route cost-aware bi-objective
+  search (:mod:`repro.optim.objective`) through every engine without
+  engine changes;
+* :class:`~repro.optim.tracking.ParetoTracker` — the non-dominated
+  (makespan, cost) front next to the scalar :class:`BestTracker`;
 * :class:`~repro.optim.loop.SearchLoop` — the driver tying the above
   together around an engine-supplied ``step`` callback;
 * :mod:`~repro.optim.neighborhood` — the pairwise-move neighborhood
@@ -47,6 +52,14 @@ from repro.optim.neighborhood import (
     inverse_move,
     random_move,
 )
+from repro.optim.objective import (
+    MAKESPAN,
+    MakespanObjective,
+    ObjectiveBackend,
+    WeightedObjective,
+    resolve_objective,
+    weighted,
+)
 from repro.optim.observers import Observer, ObserverBus
 from repro.optim.result import SearchResult
 from repro.optim.stop import (
@@ -56,14 +69,25 @@ from repro.optim.stop import (
     StopPolicy,
 )
 from repro.optim.tabu import TabuConfig, TabuSearch, run_tabu
-from repro.optim.tracking import BestTracker, TrajectoryRecorder
+from repro.optim.tracking import (
+    BestTracker,
+    ParetoPoint,
+    ParetoTracker,
+    TrajectoryRecorder,
+)
 
 __all__ = [
+    "MAKESPAN",
     "STOP_ITERATIONS",
     "STOP_STALL",
     "STOP_TIME",
     "BestTracker",
     "EvaluationService",
+    "MakespanObjective",
+    "ObjectiveBackend",
+    "ParetoPoint",
+    "ParetoTracker",
+    "WeightedObjective",
     "LoopOutcome",
     "Move",
     "Observer",
@@ -82,6 +106,8 @@ __all__ = [
     "first_changed_position",
     "inverse_move",
     "random_move",
+    "resolve_objective",
     "run_sa",
     "run_tabu",
+    "weighted",
 ]

@@ -39,6 +39,7 @@ from typing import Optional, Sequence
 from repro.model.workload import Workload
 from repro.optim.evaluation import EvaluationService
 from repro.optim.loop import SearchLoop, StepOutcome
+from repro.optim.objective import resolve_objective
 from repro.optim.neighborhood import (
     apply_move,
     first_changed_position,
@@ -48,7 +49,11 @@ from repro.optim.neighborhood import (
 from repro.optim.observers import Observer
 from repro.optim.result import SearchResult
 from repro.optim.stop import StopPolicy
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    DEFAULT_PLATFORM,
+    resolve_platform,
+)
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.operations import random_valid_string
 from repro.utils.rng import RandomSource, as_rng
@@ -95,6 +100,14 @@ class SAConfig:
         best (``None`` disables).
     network:
         Simulator backend the run optimises against.
+    platform:
+        Platform (machine catalog) name the run is costed against; the
+        default ``"uniform"`` reproduces the historical behaviour bit
+        for bit (see :mod:`repro.model.platform`).
+    objective:
+        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — what
+        the annealer's acceptance rule compares (see
+        :mod:`repro.optim.objective`).
     seed:
         Seed / generator for all stochastic choices.
     """
@@ -109,6 +122,8 @@ class SAConfig:
     time_limit: Optional[float] = None
     stall_iterations: Optional[int] = None
     network: str = DEFAULT_NETWORK
+    platform: str = DEFAULT_PLATFORM
+    objective: str = "makespan"
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -138,6 +153,8 @@ class SAConfig:
             raise ValueError(
                 f"network must be a backend name string, got {self.network!r}"
             )
+        resolve_platform(self.platform)
+        resolve_objective(self.objective)
         # iteration/time/stall bounds are validated by the StopPolicy
         StopPolicy(self.max_iterations, self.time_limit, self.stall_iterations)
 
@@ -187,7 +204,11 @@ class SimulatedAnnealing:
             # SA scores one proposal at a time: the incremental tier is
             # the hot path, so skip the batch kernel's packing entirely.
             service = EvaluationService(
-                workload, cfg.network, prefer_batch=False
+                workload,
+                cfg.network,
+                prefer_batch=False,
+                platform=cfg.platform,
+                objective=cfg.objective,
             )
         watch = Stopwatch()
 
@@ -245,10 +266,17 @@ class SimulatedAnnealing:
         )
         out = loop.run(current_cost, string, step, watch=watch)
 
+        best_schedule = service.schedule_of(out.best)
         return SearchResult(
             best_string=out.best,
-            best_makespan=out.best_cost,
-            best_schedule=service.schedule_of(out.best),
+            # under a weighted objective out.best_cost is the scalar;
+            # report the schedule's real makespan in that mode
+            best_makespan=(
+                out.best_cost
+                if service.objective.is_makespan
+                else best_schedule.makespan
+            ),
+            best_schedule=best_schedule,
             trace=out.trace,
             iterations=out.iterations,
             evaluations=service.evaluations,

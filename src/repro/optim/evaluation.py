@@ -32,12 +32,16 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence
 
 from repro.model.workload import Workload
+from repro.optim.objective import ObjectiveBackend, resolve_objective
 from repro.schedule.backend import (
     DEFAULT_NETWORK,
+    DEFAULT_PLATFORM,
     make_simulator,
     plain_schedule,
+    resolve_platform,
 )
 from repro.schedule.encoding import ScheduleString
+from repro.schedule.scoring import CostModel, ScheduleScore
 from repro.schedule.simulator import Schedule
 
 
@@ -63,9 +67,37 @@ class EvaluationService:
         engines handed such a service optimise a job's schedule *given*
         machines still occupied by earlier jobs.  Batch calls route
         through the sequential scalar path in this mode.
+    platform:
+        Platform name (or :class:`~repro.model.platform.PlatformSpec`):
+        the backend is built against the speed-scaled matrix, boot
+        state and billing table of that platform (see
+        :func:`~repro.schedule.backend.make_simulator`).  The default
+        ``"uniform"`` changes nothing, bit for bit.
+    objective:
+        What the scalar every engine optimises *is*: ``"makespan"``
+        (the default — the raw backend, no wrapping, bit-identical) or
+        a weighted sum (``"weighted:<w_m>:<w_c>"`` / an
+        :class:`~repro.optim.objective.WeightedObjective`), routed by
+        wrapping the backend in an
+        :class:`~repro.optim.objective.ObjectiveBackend` so SE, GA, SA
+        and tabu optimise cost-aware without engine changes.
+    pareto:
+        Optional :class:`~repro.optim.tracking.ParetoTracker`; every
+        point scored through this service is offered to it, so a run
+        accumulates the (makespan, cost) front as a side effect.
     """
 
-    __slots__ = ("_backend", "_workload", "_network", "_calls")
+    __slots__ = (
+        "_backend",
+        "_raw",
+        "_workload",
+        "_network",
+        "_calls",
+        "_platform",
+        "_objective",
+        "_pareto",
+        "_cost_model",
+    )
 
     def __init__(
         self,
@@ -74,16 +106,36 @@ class EvaluationService:
         prefer_batch: bool = True,
         initial_avail: Optional[Sequence[float]] = None,
         initial_nic_free: Optional[Sequence[float]] = None,
+        platform=DEFAULT_PLATFORM,
+        objective="makespan",
+        pareto=None,
     ):
         self._workload = workload
         self._network = network
-        self._backend = make_simulator(
+        self._platform = platform
+        self._raw = make_simulator(
             workload,
             network,
             batch=prefer_batch,
             initial_avail=initial_avail,
             initial_nic_free=initial_nic_free,
+            platform=platform,
         )
+        self._objective = resolve_objective(objective)
+        self._pareto = pareto
+        self._cost_model = getattr(self._raw, "cost_model", None)
+        if self._objective.is_makespan and pareto is None:
+            # the default: the unwrapped backend, bit-identical
+            self._backend = self._raw
+        else:
+            cm = self._cost_model
+            if cm is None:
+                cm = self._cost_model = CostModel.zero(
+                    self.effective_workload.exec_times.values
+                )
+            self._backend = ObjectiveBackend(
+                self._raw, self._objective, cm, pareto
+            )
         self._calls = 0
 
     # ------------------------------------------------------------------
@@ -97,6 +149,36 @@ class EvaluationService:
     @property
     def network(self) -> str:
         return self._network
+
+    @property
+    def platform(self) -> str:
+        """Canonical name of the platform this service evaluates under."""
+        return resolve_platform(self._platform).name
+
+    @property
+    def objective(self) -> Any:
+        """The resolved objective (``MAKESPAN`` unless configured)."""
+        return self._objective
+
+    @property
+    def pareto(self) -> Any:
+        """The attached :class:`ParetoTracker`, or ``None``."""
+        return self._pareto
+
+    @property
+    def effective_workload(self) -> Workload:
+        """The workload the backend actually evaluates — the platform's
+        speed-scaled matrix, or the original object on ``"uniform"``.
+        Heuristic phases (SE goodness, allocator candidate ranking)
+        read this so their decisions see the same machine model their
+        schedules are scored under."""
+        return self._raw.workload
+
+    @property
+    def cost_model(self) -> Any:
+        """The platform billing table (``None`` on the uniform platform
+        with the default objective)."""
+        return self._cost_model
 
     @property
     def backend(self) -> Any:
@@ -147,9 +229,28 @@ class EvaluationService:
 
         Result assembly (re-evaluating the best string once at the end
         of a run) was never part of any engine's ``evaluations``
-        accounting; this keeps it that way.
+        accounting; this keeps it that way.  Always the *real* schedule
+        (true makespan), whatever the objective.
         """
-        return plain_schedule(self._backend.evaluate(string))
+        return plain_schedule(self._raw.evaluate(string))
+
+    def score_of(self, string: ScheduleString) -> ScheduleScore:
+        """The ``(makespan, cost, busy)`` score of *string* — **not**
+        counted, like :meth:`schedule_of`; real makespan, real dollars,
+        whatever the objective."""
+        string_score = getattr(self._raw, "string_score", None)
+        if string_score is not None:
+            return string_score(string)
+        cm = self._cost_model
+        if cm is None:
+            cm = self._cost_model = CostModel.zero(
+                self.effective_workload.exec_times.values
+            )
+        return cm.score(string.machines, self._raw.string_makespan(string))
+
+    def scalarize(self, makespan: float, cost: float) -> float:
+        """The configured objective's scalar for one scored point."""
+        return self._objective.scalarize(makespan, cost)
 
     # ------------------------------------------------------------------
     # incremental (delta) tier

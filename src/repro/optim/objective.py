@@ -1,0 +1,372 @@
+"""Bi-objective scalarization: optimise (makespan, cost) with any engine.
+
+Every engine in this repo — SE, GA, SA, tabu, random — optimises one
+scalar it reads back from the :class:`~repro.optim.evaluation.
+EvaluationService`.  That is the whole trick of this module: instead of
+teaching each engine about dollar cost, the service wraps its backend
+in an :class:`ObjectiveBackend` whose every scalar *is already the
+scalarized objective* ``w_m * makespan + w_c * cost``.  The engines'
+comparisons, cutoffs, tabu aspiration and annealing acceptance then
+optimise cost-aware without a single engine change.
+
+* :func:`weighted` — the weighted-sum objective ``weighted(w_m, w_c)``;
+* :data:`MAKESPAN` — the identity objective (scalar == makespan, bit
+  for bit; the default everywhere, so golden results cannot move);
+* :func:`resolve_objective` — parses the JSON/CLI-safe string forms
+  ``"makespan"`` and ``"weighted:<w_m>:<w_c>"``;
+* :class:`ObjectiveBackend` — the
+  :class:`~repro.schedule.backend.SimulatorBackend` wrapper.  It keeps
+  the delta tier's branch-and-bound exact by transforming the caller's
+  scalarized cutoff into a *span* cutoff (cost is known before the
+  walk, since billing is per-task), and the batch tier vectorized by
+  scalarizing whole ``(makespans, costs)`` columns at once.  When a
+  :class:`~repro.optim.tracking.ParetoTracker` is attached, every
+  scored point is offered to it — one weighted run accumulates a whole
+  front as a side effect.
+
+>>> obj = resolve_objective("weighted:0.7:0.3")
+>>> obj.scalarize(100.0, 10.0)
+73.0
+>>> resolve_objective("makespan").is_makespan
+True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.schedule.scoring import CostModel, ScheduleScore
+
+__all__ = [
+    "MAKESPAN",
+    "MakespanObjective",
+    "WeightedObjective",
+    "Objective",
+    "weighted",
+    "resolve_objective",
+    "ObjectiveBackend",
+]
+
+_INF = float("inf")
+
+
+class MakespanObjective:
+    """The identity objective: scalar == makespan, bit for bit."""
+
+    name = "makespan"
+    is_makespan = True
+
+    def scalarize(self, makespan: float, cost: float) -> float:
+        return makespan
+
+    def scalarize_arrays(
+        self, makespans: np.ndarray, costs: np.ndarray
+    ) -> np.ndarray:
+        return makespans
+
+    def span_cutoff(self, cutoff: float, cost: float) -> float:
+        return cutoff
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MakespanObjective()"
+
+
+@dataclass(frozen=True)
+class WeightedObjective:
+    """The weighted sum ``w_makespan * makespan + w_cost * cost``.
+
+    Weights must be finite, >= 0 and not both zero.  They are *not*
+    normalised — callers wanting comparable magnitudes divide by
+    reference scales first (``repro pareto`` uses a deterministic
+    baseline's makespan and cost).
+    """
+
+    w_makespan: float
+    w_cost: float
+
+    is_makespan = False
+
+    def __post_init__(self) -> None:
+        for label, w in (
+            ("w_makespan", self.w_makespan),
+            ("w_cost", self.w_cost),
+        ):
+            if not (math.isfinite(w) and w >= 0):
+                raise ValueError(
+                    f"{label} must be finite and >= 0, got {w!r}"
+                )
+        if self.w_makespan == 0 and self.w_cost == 0:
+            raise ValueError("at least one objective weight must be > 0")
+
+    @property
+    def name(self) -> str:
+        return f"weighted:{self.w_makespan!r}:{self.w_cost!r}"
+
+    def scalarize(self, makespan: float, cost: float) -> float:
+        return self.w_makespan * makespan + self.w_cost * cost
+
+    def scalarize_arrays(
+        self, makespans: np.ndarray, costs: np.ndarray
+    ) -> np.ndarray:
+        return self.w_makespan * makespans + self.w_cost * costs
+
+    def span_cutoff(self, cutoff: float, cost: float) -> float:
+        """The *makespan* cutoff equivalent to a scalarized *cutoff*.
+
+        The delta tier prunes on the running span; since cost depends
+        only on the machine assignment (known before the walk), the
+        scalarized bound ``w_m * span + w_c * cost >= cutoff`` is a
+        plain span bound.  One ``nextafter`` of slack keeps rounding
+        from pruning a genuinely improving probe.
+        """
+        if cutoff == _INF:
+            return _INF
+        if self.w_makespan == 0:
+            # scalar is span-independent: prune everything or nothing
+            return _INF if self.w_cost * cost < cutoff else -_INF
+        return math.nextafter(
+            (cutoff - self.w_cost * cost) / self.w_makespan, _INF
+        )
+
+
+Objective = Union[MakespanObjective, WeightedObjective]
+
+#: The default objective — today's behaviour, golden-pinned.
+MAKESPAN = MakespanObjective()
+
+
+def weighted(w_makespan: float, w_cost: float) -> WeightedObjective:
+    """The weighted-sum objective (see :class:`WeightedObjective`)."""
+    return WeightedObjective(float(w_makespan), float(w_cost))
+
+
+def resolve_objective(spec: Union[str, Objective]) -> Objective:
+    """*spec* as an objective object.
+
+    Accepts an objective instance, ``"makespan"``, or the JSON/CLI-safe
+    ``"weighted:<w_m>:<w_c>"`` form (e.g. ``"weighted:0.7:0.3"``).
+    """
+    if isinstance(spec, (MakespanObjective, WeightedObjective)):
+        return spec
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"objective must be a name string or objective, got {spec!r}"
+        )
+    if spec == "makespan":
+        return MAKESPAN
+    if spec.startswith("weighted:"):
+        parts = spec.split(":")
+        if len(parts) == 3:
+            try:
+                return weighted(float(parts[1]), float(parts[2]))
+            except ValueError as e:
+                raise ValueError(f"bad objective {spec!r}: {e}") from None
+    raise ValueError(
+        f"unknown objective {spec!r}; expected 'makespan' or "
+        "'weighted:<w_makespan>:<w_cost>'"
+    )
+
+
+class _ScalarizedState:
+    """A delta state whose ``makespan`` is the scalarized objective.
+
+    Engines treat delta states as opaque apart from ``makespan`` /
+    ``pos_of`` / ``as_schedule()`` (the :class:`~repro.schedule.backend.
+    SimulatorBackend` contract), so this thin proxy is all the
+    incremental tier needs: the scalar they compare is the objective,
+    the schedule they decode is the real one.
+    """
+
+    __slots__ = ("base", "makespan")
+
+    def __init__(self, base: Any, scalar: float):
+        self.base = base
+        self.makespan = scalar
+
+    @property
+    def pos_of(self):
+        return self.base.pos_of
+
+    def as_schedule(self):
+        return self.base.as_schedule()
+
+
+class ObjectiveBackend:
+    """A backend whose every scalar is the scalarized objective.
+
+    Wraps any :class:`~repro.schedule.backend.SimulatorBackend`; built
+    by the :class:`~repro.optim.evaluation.EvaluationService` when a
+    non-default objective (or a Pareto tracker) is requested.  The
+    default makespan objective never constructs one — the unwrapped
+    backend stays bit-identical.
+
+    ``evaluate`` still returns the inner backend's real result (result
+    assembly wants true makespans); everything an engine *compares* —
+    ``makespan``, ``string_makespan``, delta scalars, batch columns,
+    prepared-state ``makespan`` — is scalarized.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        objective: Objective,
+        cost_model: CostModel,
+        pareto: Optional[Any] = None,
+    ):
+        self._inner = inner
+        self._objective = objective
+        self._cm = cost_model
+        self._pareto = pareto
+        # batch methods exist exactly when the inner backend has them,
+        # so the service's hasattr routing keeps working unchanged
+        if hasattr(inner, "batch_makespans"):
+            self.batch_makespans = self._batch_makespans
+            self.batch_string_makespans = self._batch_string_makespans
+
+    # ------------------------------------------------------------------
+    # identity / passthrough
+    # ------------------------------------------------------------------
+
+    @property
+    def base(self) -> Any:
+        """The wrapped (unscalarized) backend."""
+        return self._inner
+
+    @property
+    def objective(self) -> Objective:
+        return self._objective
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cm
+
+    @property
+    def workload(self):
+        return self._inner.workload
+
+    @property
+    def is_vectorized(self) -> bool:
+        return bool(getattr(self._inner, "is_vectorized", False))
+
+    def finish_times(self, string) -> list[float]:
+        return self._inner.finish_times(string)
+
+    def evaluate(self, string) -> Any:
+        result = self._inner.evaluate(string)
+        self._offer(result.makespan, self._cm.cost(string.machines), string)
+        return result
+
+    def score(self, order, machine_of) -> ScheduleScore:
+        inner_score = getattr(self._inner, "score", None)
+        if inner_score is not None:
+            s = inner_score(order, machine_of)
+        else:
+            s = self._cm.score(
+                machine_of, self._inner.makespan(order, machine_of)
+            )
+        self._offer(s.makespan, s.cost, (order, machine_of))
+        return s
+
+    def string_score(self, string) -> ScheduleScore:
+        return self.score(string.order, string.machines)
+
+    # ------------------------------------------------------------------
+    # scalarized scoring
+    # ------------------------------------------------------------------
+
+    def _offer(self, span: float, cost: float, candidate: Any) -> None:
+        if self._pareto is not None and span != _INF:
+            self._pareto.offer(span, cost, candidate)
+
+    def makespan(self, order, machine_of) -> float:
+        span = self._inner.makespan(order, machine_of)
+        cost = self._cm.cost(machine_of)
+        self._offer(span, cost, (order, machine_of))
+        return self._objective.scalarize(span, cost)
+
+    def string_makespan(self, string) -> float:
+        span = self._inner.string_makespan(string)
+        cost = self._cm.cost(string.machines)
+        self._offer(span, cost, string)
+        return self._objective.scalarize(span, cost)
+
+    def prepare(self, order, machine_of) -> _ScalarizedState:
+        state = self._inner.prepare(order, machine_of)
+        cost = self._cm.cost(machine_of)
+        self._offer(state.makespan, cost, (order, machine_of))
+        return _ScalarizedState(
+            state, self._objective.scalarize(state.makespan, cost)
+        )
+
+    def evaluate_delta(
+        self,
+        order,
+        machine_of,
+        first_changed: int,
+        state: Any,
+        cutoff: float = _INF,
+        region_end: Optional[int] = None,
+    ) -> float:
+        cost = self._cm.cost(machine_of)
+        span = self._inner.evaluate_delta(
+            order,
+            machine_of,
+            first_changed,
+            getattr(state, "base", state),
+            self._objective.span_cutoff(cutoff, cost),
+            region_end,
+        )
+        if span == _INF:  # pruned: not better than the cutoff
+            return _INF
+        self._offer(span, cost, (order, machine_of))
+        return self._objective.scalarize(span, cost)
+
+    # bound as instance attributes iff the inner backend is batch-capable
+
+    def _batch_makespans(
+        self, orders, machines, validate: bool = True
+    ) -> np.ndarray:
+        if hasattr(self._inner, "batch_scores"):
+            scores = self._inner.batch_scores(
+                orders, machines, validate=validate
+            )
+            spans, costs = scores.makespans, scores.costs
+        else:
+            spans = self._inner.batch_makespans(
+                orders, machines, validate=validate
+            )
+            costs = self._cm.batch_costs(
+                np.asarray(machines, dtype=np.intp)
+            )
+        if self._pareto is not None:
+            for i in range(len(spans)):
+                self._pareto.offer(
+                    float(spans[i]),
+                    float(costs[i]),
+                    (orders[i], machines[i]),
+                )
+        return self._objective.scalarize_arrays(spans, costs)
+
+    def _batch_string_makespans(
+        self, strings: Sequence[Any], validate: bool = True
+    ) -> np.ndarray:
+        if hasattr(self._inner, "batch_string_scores"):
+            scores = self._inner.batch_string_scores(
+                strings, validate=validate
+            )
+            spans, costs = scores.makespans, scores.costs
+        else:
+            spans = self._inner.batch_string_makespans(
+                strings, validate=validate
+            )
+            costs = self._cm.batch_costs(
+                np.array([s.machines for s in strings], dtype=np.intp)
+            )
+        if self._pareto is not None:
+            for i, s in enumerate(strings):
+                self._pareto.offer(float(spans[i]), float(costs[i]), s)
+        return self._objective.scalarize_arrays(spans, costs)

@@ -47,10 +47,15 @@ from repro.model.workload import Workload
 from repro.optim.evaluation import EvaluationService
 from repro.optim.loop import SearchLoop, StepOutcome
 from repro.optim.neighborhood import applied_copy, random_move
+from repro.optim.objective import resolve_objective
 from repro.optim.observers import Observer
 from repro.optim.result import SearchResult
 from repro.optim.stop import StopPolicy
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    DEFAULT_PLATFORM,
+    resolve_platform,
+)
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.operations import random_valid_string
 from repro.utils.rng import RandomSource, as_rng
@@ -80,6 +85,14 @@ class TabuConfig:
         global best (``None`` disables).
     network:
         Simulator backend the run optimises against.
+    platform:
+        Platform (machine catalog) name the run is costed against; the
+        default ``"uniform"`` reproduces the historical behaviour bit
+        for bit (see :mod:`repro.model.platform`).
+    objective:
+        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — the
+        scalar the admissibility rule compares (see
+        :mod:`repro.optim.objective`).
     seed:
         Seed / generator for all stochastic choices.
     """
@@ -91,6 +104,8 @@ class TabuConfig:
     time_limit: Optional[float] = None
     stall_iterations: Optional[int] = None
     network: str = DEFAULT_NETWORK
+    platform: str = DEFAULT_PLATFORM
+    objective: str = "makespan"
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -108,6 +123,8 @@ class TabuConfig:
             raise ValueError(
                 f"network must be a backend name string, got {self.network!r}"
             )
+        resolve_platform(self.platform)
+        resolve_objective(self.objective)
         StopPolicy(self.max_iterations, self.time_limit, self.stall_iterations)
 
     def stop_policy(self) -> StopPolicy:
@@ -156,7 +173,11 @@ class TabuSearch:
             # whole neighborhoods score per iteration: the batch tier is
             # the hot path, so ask for the vectorized kernel if available
             service = EvaluationService(
-                workload, cfg.network, prefer_batch=True
+                workload,
+                cfg.network,
+                prefer_batch=True,
+                platform=cfg.platform,
+                objective=cfg.objective,
             )
         watch = Stopwatch()
 
@@ -217,10 +238,17 @@ class TabuSearch:
 
         out = loop.run(current_cost, string, step, watch=watch)
 
+        best_schedule = service.schedule_of(out.best)
         return SearchResult(
             best_string=out.best,
-            best_makespan=out.best_cost,
-            best_schedule=service.schedule_of(out.best),
+            # under a weighted objective out.best_cost is the scalar;
+            # report the schedule's real makespan in that mode
+            best_makespan=(
+                out.best_cost
+                if service.objective.is_makespan
+                else best_schedule.makespan
+            ),
+            best_schedule=best_schedule,
             trace=out.trace,
             iterations=out.iterations,
             evaluations=service.evaluations,

@@ -11,11 +11,22 @@ keep mutating their working solution in place.
 :class:`~repro.analysis.trace.ConvergenceTrace` — the exact record/trace
 types the figure benchmarks and the runner already consume, so a
 refactored engine's trace is indistinguishable from the hand-rolled one.
+
+:class:`ParetoTracker` is :class:`BestTracker`'s bi-objective sibling:
+instead of one scalar incumbent it maintains the **non-dominated front**
+over ``(makespan, cost)`` points — the output of a cost-aware search
+(see :mod:`repro.optim.objective`).  The
+:class:`~repro.optim.evaluation.EvaluationService` offers every point it
+scores to an attached tracker, so one weighted-sum run (or several runs
+sharing a tracker, as ``repro pareto`` does) accumulates the whole
+front for free.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generic, Optional, TypeVar
+import copy as _copy
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Iterator, Optional, TypeVar
 
 from repro.analysis.trace import ConvergenceTrace, IterationRecord
 
@@ -79,6 +90,106 @@ class BestTracker(Generic[S]):
             return True
         self._stall += 1
         return False
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated ``(makespan, cost)`` point and its schedule."""
+
+    makespan: float
+    cost: float
+    candidate: Any = None
+
+    @property
+    def point(self) -> tuple[float, float]:
+        return (self.makespan, self.cost)
+
+
+class ParetoTracker:
+    """The non-dominated front over ``(makespan, cost)``.
+
+    Dominance is the standard weak/strict mix: ``a`` dominates ``b``
+    when ``a`` is <= on both objectives and strictly < on at least one.
+    A point equal to a front member on *both* objectives is already
+    represented and is rejected (so duplicates never grow the front);
+    a point tied on one objective but better on the other *replaces*
+    the dominated member.  The resulting front is a set — independent
+    of insertion order (property-tested).
+
+    Parameters
+    ----------
+    copy:
+        How to snapshot a candidate when its point joins the front
+        (default: :func:`copy.deepcopy`, safe for live engine
+        solutions).  Only accepted offers pay the copy.
+
+    >>> t = ParetoTracker()
+    >>> t.offer(10.0, 5.0), t.offer(12.0, 3.0), t.offer(11.0, 6.0)
+    (True, True, False)
+    >>> [(p.makespan, p.cost) for p in t.front]
+    [(10.0, 5.0), (12.0, 3.0)]
+    >>> t.offer(10.0, 3.0)  # dominates both members
+    True
+    >>> [(p.makespan, p.cost) for p in t.front]
+    [(10.0, 3.0)]
+    """
+
+    __slots__ = ("_copy", "_points", "_offers")
+
+    def __init__(self, copy: Callable[[Any], Any] = _copy.deepcopy):
+        self._copy = copy
+        self._points: list[ParetoPoint] = []
+        self._offers = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[ParetoPoint]:
+        return iter(self.front)
+
+    @property
+    def offers(self) -> int:
+        """Points offered so far (accepted or not)."""
+        return self._offers
+
+    @property
+    def front(self) -> list[ParetoPoint]:
+        """The current front, sorted by makespan (ascending)."""
+        return sorted(self._points, key=lambda p: (p.makespan, p.cost))
+
+    def dominated(self, makespan: float, cost: float) -> bool:
+        """True if some front member dominates-or-equals the point."""
+        return any(
+            p.makespan <= makespan and p.cost <= cost
+            for p in self._points
+        )
+
+    def offer(
+        self, makespan: float, cost: float, candidate: Any = None
+    ) -> bool:
+        """Offer one scored point; returns True if it joined the front.
+
+        The candidate is copied only on acceptance, so offering every
+        probe of a search loop is cheap.
+        """
+        self._offers += 1
+        if self.dominated(makespan, cost):
+            return False
+        self._points = [
+            p
+            for p in self._points
+            if not (makespan <= p.makespan and cost <= p.cost)
+        ]
+        self._points.append(
+            ParetoPoint(
+                makespan=float(makespan),
+                cost=float(cost),
+                candidate=(
+                    self._copy(candidate) if candidate is not None else None
+                ),
+            )
+        )
+        return True
 
 
 class TrajectoryRecorder:

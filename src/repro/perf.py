@@ -11,8 +11,11 @@ the stable schema::
 ``bench``/``metric`` identify a measurement, ``value``/``unit`` carry
 it, and ``commit``/``python`` record provenance.  The **unit encodes
 the regression direction**: time units (``s``, ``ms``, ``us``, ``ns``)
-regress when the value *rises*; every other unit (ratios ``x``,
-throughputs) regresses when the value *falls*.
+and cost units (``usd``) regress when the value *rises*; every other
+unit (ratios ``x``, throughputs) regresses when the value *falls*.
+Records whose metric name mentions ``cost`` must carry a cost unit —
+an unadorned number is ambiguous about direction, so the schema
+rejects it at load time (``repro perf check`` included).
 
 CI runs the micro-benchmarks, then ``repro perf check`` compares the
 fresh file against the committed ``benchmarks/baseline/BENCH_micro.json``
@@ -47,6 +50,10 @@ SCHEMA_FIELDS = ("bench", "metric", "value", "unit", "commit", "python")
 #: Units where a *larger* value is a regression (durations).
 TIME_UNITS = frozenset({"s", "ms", "us", "ns"})
 
+#: Currency units (also lower-is-better); every cost metric must carry
+#: one, so the gate never guesses a cost record's regression direction.
+COST_UNITS = frozenset({"usd"})
+
 #: Default relative tolerance of the regression gate (±30%).
 DEFAULT_TOLERANCE = 0.30
 
@@ -61,6 +68,14 @@ class PerfRecord:
     unit: str
     commit: str
     python: str
+
+    def __post_init__(self) -> None:
+        if "cost" in self.metric and self.unit not in COST_UNITS:
+            raise ValueError(
+                f"perf record ({self.bench!r}, {self.metric!r}) is a cost "
+                f"metric and must carry a currency unit "
+                f"({', '.join(sorted(COST_UNITS))}), got {self.unit!r}"
+            )
 
     @property
     def key(self) -> tuple[str, str]:
@@ -123,7 +138,7 @@ def make_record(
 
 def lower_is_better(unit: str) -> bool:
     """Regression direction of *unit* (see module docstring)."""
-    return unit in TIME_UNITS
+    return unit in TIME_UNITS or unit in COST_UNITS
 
 
 def load_records(path: Union[str, Path]) -> list[PerfRecord]:

@@ -38,13 +38,55 @@ from repro.runner.results import (
     ExperimentResult,
 )
 from repro.runner.spec import ExperimentCell, ExperimentSpec
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    DEFAULT_PLATFORM,
+    resolve_platform,
+)
 from repro.schedule.metrics import normalized_makespan
 from repro.workloads.presets import build_workload
 
 #: Progress callback: (cells done, cells total, the cell that finished,
 #: True when served from cache).
 ProgressFn = Callable[[int, int, CellResult, bool], None]
+
+
+def _platform_view(workload, platform: str):
+    """``(effective workload, cost model | None)`` for a cell's platform.
+
+    The effective workload carries the platform's speed-scaled matrix
+    (the original object on ``"uniform"``), so normalized makespans are
+    measured against the bounds of the machines the cell actually ran
+    on.  Unknown platform names (a worker without a downstream
+    registration) degrade to the uniform view instead of crashing.
+    """
+    try:
+        spec = resolve_platform(platform)
+    except ValueError:
+        return workload, None
+    if spec.is_uniform:
+        return workload, None
+    from repro.schedule.scoring import CostModel
+
+    bound = spec.bind(workload.num_machines)
+    scaled = bound.apply(workload)
+    return scaled, CostModel(scaled.exec_times.values, bound.prices)
+
+
+def _cell_cost(cost_model, outcome) -> float:
+    """Dollar cost of the cell's winning schedule.
+
+    Billing is per-task (cost depends only on the machine assignment),
+    so the ``best_string`` extras payload is enough — no re-simulation.
+    Cells without one (custom registry entries) report 0.0.
+    """
+    best = outcome.extras.get("best_string")
+    if cost_model is None or best is None:
+        return 0.0
+    try:
+        return float(cost_model.cost(best["machines"]))
+    except (KeyError, ValueError, TypeError):
+        return 0.0
 
 
 def run_cell(cell: ExperimentCell) -> CellResult:
@@ -64,6 +106,8 @@ def run_cell(cell: ExperimentCell) -> CellResult:
     outcome = fn(workload, cell.seed, params)
     runtime = time.perf_counter() - t0
     cls = workload.classification
+    platform = str(params.get("platform", DEFAULT_PLATFORM))
+    effective, cost_model = _platform_view(workload, platform)
     return CellResult(
         cell_id=cell.cell_id(),
         algorithm=cell.algorithm,
@@ -75,8 +119,10 @@ def run_cell(cell: ExperimentCell) -> CellResult:
         num_machines=workload.num_machines,
         seed=effective_seed,
         network=str(params.get("network", DEFAULT_NETWORK)),
+        platform=platform,
+        cost=_cell_cost(cost_model, outcome),
         makespan=float(outcome.makespan),
-        normalized=normalized_makespan(workload, float(outcome.makespan)),
+        normalized=normalized_makespan(effective, float(outcome.makespan)),
         evaluations=outcome.evaluations,
         iterations=outcome.iterations,
         stopped_by=outcome.stopped_by,

@@ -234,10 +234,18 @@ def _deterministic(fn_name: str):
     return run
 
 
-register_algorithm("heft", params=("network",))(_deterministic("heft"))
-register_algorithm("minmin", params=("network",))(_deterministic("min_min"))
-register_algorithm("maxmin", params=("network",))(_deterministic("max_min"))
-register_algorithm("olb", params=("network",))(_deterministic("olb"))
+register_algorithm("heft", params=("network", "platform"))(
+    _deterministic("heft")
+)
+register_algorithm("minmin", params=("network", "platform"))(
+    _deterministic("min_min")
+)
+register_algorithm("maxmin", params=("network", "platform"))(
+    _deterministic("max_min")
+)
+register_algorithm("olb", params=("network", "platform"))(
+    _deterministic("olb")
+)
 
 
 @register_algorithm("sa", params=_config_fields(_sa_config))
@@ -275,10 +283,20 @@ def _run_tabu(workload: Workload, seed: int, params: dict) -> CellOutcome:
 
 
 @register_algorithm(
-    "random", params=("samples", "batch_size", "time_limit", "network", "seed")
+    "random",
+    params=(
+        "samples",
+        "batch_size",
+        "time_limit",
+        "network",
+        "platform",
+        "objective",
+        "seed",
+    ),
 )
 def _run_random(workload: Workload, seed: int, params: dict) -> CellOutcome:
     from repro.baselines import random_search
+    from repro.schedule.backend import DEFAULT_PLATFORM
 
     params = dict(params)
     seed = _seed_of(seed, params)
@@ -289,6 +307,8 @@ def _run_random(workload: Workload, seed: int, params: dict) -> CellOutcome:
         time_limit=params.get("time_limit"),
         network=params.get("network", DEFAULT_NETWORK),
         batch_size=params.get("batch_size", 128),
+        platform=params.get("platform", DEFAULT_PLATFORM),
+        objective=params.get("objective", "makespan"),
     )
     return CellOutcome(
         makespan=res.makespan,

@@ -13,7 +13,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
-from repro.schedule.backend import DEFAULT_NETWORK
+from repro.schedule.backend import DEFAULT_NETWORK, DEFAULT_PLATFORM
 
 if TYPE_CHECKING:  # deferred at runtime: analysis.grid imports the runner
     from repro.analysis.trace import ConvergenceTrace
@@ -32,6 +32,11 @@ class CellResult:
     when the algorithm has no convergence trace / traces were stripped.
     ``runtime_seconds`` is wall time in the worker — informative, and the
     only field that is *not* deterministic across runs.
+
+    ``platform`` / ``cost`` record the machine-catalog scenario and the
+    winning schedule's dollar cost under its billing table (0.0 on the
+    free default ``"uniform"`` platform).  Both default, so cache files
+    written before the platform axis existed still load.
     """
 
     cell_id: str
@@ -46,6 +51,8 @@ class CellResult:
     makespan: float
     normalized: float
     network: str = DEFAULT_NETWORK
+    platform: str = DEFAULT_PLATFORM
+    cost: float = 0.0
     evaluations: int = 0
     iterations: int = 0
     stopped_by: str = ""
@@ -85,6 +92,8 @@ _CSV_FIELDS = [
     "makespan",
     "normalized",
     "network",
+    "platform",
+    "cost",
     "evaluations",
     "iterations",
     "stopped_by",

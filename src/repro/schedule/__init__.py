@@ -16,13 +16,19 @@
 
 from repro.schedule.backend import (
     DEFAULT_NETWORK,
+    DEFAULT_PLATFORM,
     NIC_NETWORK,
     SimulatorBackend,
     available_networks,
+    available_platforms,
     make_simulator,
     plain_schedule,
+    platform_cost_vectorized,
+    platform_state,
     register_batch_network,
     register_network,
+    register_platform,
+    resolve_platform,
 )
 from repro.schedule.encoding import (
     ScheduleString,
@@ -46,6 +52,7 @@ from repro.schedule.operations import (
     random_valid_string,
     shuffle_string,
 )
+from repro.schedule.scoring import BatchScores, CostModel, ScheduleScore
 from repro.schedule.simulator import (
     DeltaState,
     InvalidScheduleError,
@@ -68,13 +75,22 @@ from repro.schedule.valid_range import (
 
 __all__ = [
     "DEFAULT_NETWORK",
+    "DEFAULT_PLATFORM",
     "NIC_NETWORK",
     "SimulatorBackend",
     "available_networks",
+    "available_platforms",
     "make_simulator",
     "plain_schedule",
+    "platform_cost_vectorized",
+    "platform_state",
     "register_batch_network",
     "register_network",
+    "register_platform",
+    "resolve_platform",
+    "BatchScores",
+    "CostModel",
+    "ScheduleScore",
     "BatchBackend",
     "BatchSimulator",
     "SequentialBatchKernel",

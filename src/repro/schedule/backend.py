@@ -22,15 +22,32 @@ algorithms do: ``SEConfig(network="nic")``, ``GAConfig(network="nic")``,
 ``heft(w, network="nic")``, ``AlgorithmSpec.make("se", network="nic")``,
 ``repro sweep --network nic``.
 
+The **platform** axis works the same way, orthogonally to the network:
+a :class:`~repro.model.platform.PlatformSpec` (instance catalog with
+speed factors, $/hour prices and boot delays) registered under a string
+name.  ``make_simulator(w, network, platform="cloud")`` scales the
+execution-time matrix by instance speed, folds boot delays into the
+initial availability, and attaches the billing table so the backend's
+``score`` / ``batch_scores`` report dollar cost next to makespan.  The
+default ``"uniform"`` platform changes *nothing* — same workload
+object, no extra keyword reaches the backend factory — so it is
+bit-identical to the historical ETC path (golden-pinned).
+
 >>> from repro.schedule.backend import available_networks, make_simulator
 >>> available_networks()
 ['contention-free', 'nic']
+>>> available_platforms()
+['cloud', 'spot', 'uniform']
 >>> from repro.workloads import small_workload
 >>> w = small_workload(seed=1)
 >>> type(make_simulator(w, "contention-free")).__name__
 'Simulator'
 >>> type(make_simulator(w, "nic")).__name__
 'ContentionSimulator'
+>>> make_simulator(w, "contention-free", platform="spot").cost_model.is_free
+False
+>>> make_simulator(w, "contention-free").cost_model is None
+True
 """
 
 from __future__ import annotations
@@ -46,6 +63,9 @@ DEFAULT_NETWORK = "contention-free"
 
 #: The built-in NIC-serialisation model (see ``repro.extensions.contention``).
 NIC_NETWORK = "nic"
+
+#: The identity platform; the default everywhere a ``platform`` is accepted.
+DEFAULT_PLATFORM = "uniform"
 
 
 @runtime_checkable
@@ -144,6 +164,113 @@ def register_batch_network(name: str):
     return deco
 
 
+#: Platform specs keyed by name (see ``repro.model.platform``).
+_PLATFORMS: Dict[str, Any] = {}
+
+
+def register_platform(spec) -> Any:
+    """Register a :class:`~repro.model.platform.PlatformSpec` under its
+    own (unique, lower-cased) name; returns the spec for chaining.
+
+    Like network registration, this must happen at import time of a
+    module the runner's worker processes also import, so ``platform=``
+    strings resolve in every process.
+    """
+    key = spec.name.lower()
+    if key in _PLATFORMS:
+        raise ValueError(f"platform {key!r} already registered")
+    _PLATFORMS[key] = spec
+    return spec
+
+
+def _ensure_platform_builtins() -> None:
+    if DEFAULT_PLATFORM not in _PLATFORMS:
+        from repro.model.platform import (
+            CLOUD_PLATFORM,
+            SPOT_PLATFORM,
+            UNIFORM_PLATFORM,
+        )
+
+        for spec in (UNIFORM_PLATFORM, CLOUD_PLATFORM, SPOT_PLATFORM):
+            if spec.name not in _PLATFORMS:
+                register_platform(spec)
+
+
+def available_platforms() -> list[str]:
+    """All registered platform names, sorted."""
+    _ensure_platform_builtins()
+    return sorted(_PLATFORMS)
+
+
+def resolve_platform(platform) -> Any:
+    """*platform* (name or spec object) as a
+    :class:`~repro.model.platform.PlatformSpec`.
+
+    Raises
+    ------
+    ValueError
+        If a string names no registered platform.
+    """
+    if not isinstance(platform, str):
+        return platform  # an ad-hoc PlatformSpec, used directly
+    _ensure_platform_builtins()
+    try:
+        return _PLATFORMS[platform.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {platform!r}; available: "
+            f"{', '.join(available_platforms())}"
+        ) from None
+
+
+def platform_cost_vectorized(platform) -> bool:
+    """Whether *platform*'s cost path stays vectorized in the batch tier.
+
+    Boot delays become initial machine state, and initial state always
+    routes batch evaluation through the sequential scalar fallback (the
+    kernels pack idle machines) — so only zero-boot platforms keep the
+    one-gather vectorized cost column.  Surfaced by ``repro algorithms``
+    / ``repro run --verbose`` next to the per-network batch modes.
+
+    >>> platform_cost_vectorized("uniform"), platform_cost_vectorized("spot")
+    (True, True)
+    >>> platform_cost_vectorized("cloud")  # 0.3 boot on every tier
+    False
+    """
+    return not resolve_platform(platform).has_boot
+
+
+def platform_state(
+    workload: Workload,
+    platform,
+    network: str = DEFAULT_NETWORK,
+    initial_avail: Optional[Sequence[float]] = None,
+    initial_nic_free: Optional[Sequence[float]] = None,
+):
+    """Resolve *platform* into plain simulator inputs.
+
+    Returns ``(workload, initial_avail, initial_nic_free)`` with the
+    execution-time matrix speed-scaled and boot delays folded into the
+    initial state (NIC state too under NIC-style networks — an unbooted
+    machine's NIC is down).  The uniform platform returns the inputs
+    unchanged (same objects), preserving bit-identity.
+
+    This is the entry point the incremental baselines (HEFT, min-min,
+    OLB, ...) use so their EFT decision phase sees exactly the machine
+    model their reported schedule is measured under.
+    """
+    spec = resolve_platform(platform)
+    if spec.is_uniform:
+        return workload, initial_avail, initial_nic_free
+    bound = spec.bind(workload.num_machines)
+    workload = bound.apply(workload)
+    if bound.has_boot:
+        initial_avail = bound.combine_avail(initial_avail)
+        if network.lower() == NIC_NETWORK or initial_nic_free is not None:
+            initial_nic_free = bound.combine_avail(initial_nic_free)
+    return workload, initial_avail, initial_nic_free
+
+
 def _ensure_builtins() -> None:
     # The NIC backend lives one layer up (repro.extensions.contention) and
     # registers itself at import; import it lazily so repro.schedule keeps
@@ -185,6 +312,7 @@ def make_simulator(
     batch: bool = False,
     initial_avail: Optional[Sequence[float]] = None,
     initial_nic_free: Optional[Sequence[float]] = None,
+    platform=DEFAULT_PLATFORM,
 ) -> SimulatorBackend:
     """A simulator backend for *workload* under the *network* model.
 
@@ -210,10 +338,23 @@ def make_simulator(
     through the sequential scalar fallback (``is_vectorized`` reports
     ``False``), keeping results exact.
 
+    ``platform`` selects a registered
+    :class:`~repro.model.platform.PlatformSpec` (or takes one directly):
+    the backend is built against the speed-scaled execution matrix, with
+    boot delays as initial state (so platforms with boot also take the
+    sequential batch fallback) and the billing table attached — its
+    ``score`` / ``string_score`` and, under ``batch=True``,
+    ``batch_scores`` then report dollar cost next to makespan.  The
+    default ``"uniform"`` platform adds *nothing* to this call — same
+    workload object, no extra keyword — and is therefore bit-identical
+    to the historical path.  A custom registered network must accept a
+    ``cost_model`` keyword to be used with a non-uniform platform.
+
     Raises
     ------
     ValueError
-        If *network* names no registered backend.
+        If *network* names no registered backend, or *platform* no
+        registered platform.
     """
     _ensure_builtins()
     key = network.lower()
@@ -224,12 +365,27 @@ def make_simulator(
             f"unknown network model {network!r}; available: "
             f"{', '.join(available_networks())}"
         ) from None
+    spec = resolve_platform(platform)
+    cost_model = None
+    if not spec.is_uniform:
+        from repro.schedule.scoring import CostModel
+
+        bound = spec.bind(workload.num_machines)
+        workload = bound.apply(workload)
+        cost_model = CostModel(workload.exec_times.values, bound.prices)
+        if bound.has_boot:
+            initial_avail = bound.combine_avail(initial_avail)
+            if key == NIC_NETWORK or initial_nic_free is not None:
+                initial_nic_free = bound.combine_avail(initial_nic_free)
     kwargs: Dict[str, Any] = {}
     if initial_avail is not None:
         kwargs["initial_avail"] = initial_avail
     if initial_nic_free is not None:
         kwargs["initial_nic_free"] = initial_nic_free
-    scalar = factory(workload, **kwargs)
+    if cost_model is not None:
+        scalar = factory(workload, cost_model=cost_model, **kwargs)
+    else:
+        scalar = factory(workload, **kwargs)
     if not batch:
         return scalar
     from repro.schedule.vectorized import BatchBackend, SequentialBatchKernel
@@ -239,7 +395,7 @@ def make_simulator(
         kernel = SequentialBatchKernel(scalar)
     else:
         kernel = kernel_factory(workload)
-    return BatchBackend(scalar, kernel)
+    return BatchBackend(scalar, kernel, cost_model=cost_model)
 
 
 def plain_schedule(evaluated: Any) -> Schedule:

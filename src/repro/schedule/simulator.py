@@ -42,6 +42,7 @@ from typing import Optional, Sequence
 
 from repro.model.workload import Workload
 from repro.schedule.encoding import ScheduleString
+from repro.schedule.scoring import CostModel, ScheduleScore
 
 
 class InvalidScheduleError(ValueError):
@@ -180,14 +181,25 @@ class Simulator:
     operation is identical to the historical idle-machine walk.
     """
 
-    __slots__ = ("_workload", "_k", "_l", "_E", "_tr", "_in_edges", "_avail0")
+    __slots__ = (
+        "_workload",
+        "_k",
+        "_l",
+        "_E",
+        "_tr",
+        "_in_edges",
+        "_avail0",
+        "_cost_model",
+    )
 
     def __init__(
         self,
         workload: Workload,
         initial_avail: Optional[Sequence[float]] = None,
+        cost_model: Optional["CostModel"] = None,
     ):
         self._workload = workload
+        self._cost_model = cost_model
         graph = workload.graph
         self._k = graph.num_tasks
         self._l = workload.num_machines
@@ -305,6 +317,36 @@ class Simulator:
             finish=tuple(finish),
             makespan=span,
         )
+
+    # ------------------------------------------------------------------
+    # multi-metric tier
+    # ------------------------------------------------------------------
+
+    @property
+    def cost_model(self) -> Optional[CostModel]:
+        """The platform billing table, or ``None`` on the uniform
+        platform (``score`` then reports cost 0.0)."""
+        return self._cost_model
+
+    def score(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> ScheduleScore:
+        """The schedule's ``(makespan, cost, busy)`` triple.
+
+        One :meth:`makespan` walk plus the cost model's per-task
+        billing; without an attached cost model the zero model applies
+        (cost 0.0, busy times still real).
+        """
+        cm = self._cost_model
+        if cm is None:
+            cm = self._cost_model = CostModel.zero(
+                self._workload.exec_times.values
+            )
+        return cm.score(machine_of, self.makespan(order, machine_of))
+
+    def string_score(self, string: ScheduleString) -> ScheduleScore:
+        """:meth:`score` of an encoded :class:`ScheduleString`."""
+        return self.score(string.order, string.machines)
 
     # ------------------------------------------------------------------
     # incremental (suffix-only) evaluation

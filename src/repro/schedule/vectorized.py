@@ -62,6 +62,7 @@ import numpy as np
 from repro.model.workload import Workload
 from repro.schedule.backend import register_batch_network
 from repro.schedule.encoding import ScheduleString
+from repro.schedule.scoring import BatchScores, CostModel
 from repro.schedule.simulator import InvalidScheduleError
 
 
@@ -300,6 +301,7 @@ class BatchKernel:
         "_pad_item",
         "_max_deg",
         "_scratch",
+        "_cost_model",
     )
 
     def _bind_pack(
@@ -330,7 +332,18 @@ class BatchKernel:
         # reused across calls (fresh multi-MB allocations would pay page
         # faults every batch); makes instances NOT thread-safe
         self._scratch: Optional[dict] = None
+        self._cost_model: Optional[CostModel] = None
         return pack
+
+    @property
+    def cost_model(self) -> Optional[CostModel]:
+        """The platform billing table :meth:`scores` charges against
+        (``None`` → the zero model of the uniform platform)."""
+        return self._cost_model
+
+    @cost_model.setter
+    def cost_model(self, model: Optional[CostModel]) -> None:
+        self._cost_model = model
 
     @property
     def workload(self) -> Workload:
@@ -413,6 +426,37 @@ class BatchKernel:
         machines = np.array([s.machines for s in strings], dtype=np.intp)
         return self.makespans(orders, machines, validate=validate)
 
+    def scores(
+        self, orders: Any, machines: Any, validate: bool = True
+    ) -> BatchScores:
+        """Makespans *and* dollar costs of the batch, both vectorized.
+
+        The makespans are the usual :meth:`makespans` walk; the costs
+        are one fancy gather into the attached :class:`CostModel`'s
+        per-task billing table (see :meth:`CostModel.batch_costs`) —
+        no per-schedule Python loop on either column.
+        """
+        k = self._k
+        orders = _as_index_matrix(orders, k, "orders")
+        machines = _as_index_matrix(machines, k, "machines")
+        spans = self.makespans(orders, machines, validate=validate)
+        cm = self._cost_model
+        if cm is None:
+            cm = self._cost_model = CostModel.zero(self._E)
+        return BatchScores(spans, cm.batch_costs(machines))
+
+    def string_scores(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> BatchScores:
+        """:meth:`scores` over :class:`ScheduleString` objects."""
+        if not strings:
+            return BatchScores(
+                np.empty(0, dtype=float), np.empty(0, dtype=float)
+            )
+        orders = np.array([s.order for s in strings], dtype=np.intp)
+        machines = np.array([s.machines for s in strings], dtype=np.intp)
+        return self.scores(orders, machines, validate=validate)
+
 
 @register_batch_network("contention-free")
 class BatchSimulator(BatchKernel):
@@ -428,9 +472,13 @@ class BatchSimulator(BatchKernel):
     __slots__ = ()
 
     def __init__(
-        self, workload: Workload, pack: Optional[WorkloadPack] = None
+        self,
+        workload: Workload,
+        pack: Optional[WorkloadPack] = None,
+        cost_model: Optional[CostModel] = None,
     ):
         self._bind_pack(workload, pack)
+        self._cost_model = cost_model
 
     def _score_chunk(
         self, orders: np.ndarray, machines: np.ndarray
@@ -591,6 +639,36 @@ class SequentialBatchKernel:
             dtype=float,
         )
 
+    def scores(
+        self, orders: Any, machines: Any, validate: bool = True
+    ) -> BatchScores:
+        """Sequential ``(makespans, costs)`` via the backend's ``score``
+        (zero costs for scalar backends without a multi-metric tier)."""
+        score = getattr(self._backend, "score", None)
+        if score is None:
+            spans = self.makespans(orders, machines, validate=validate)
+            return BatchScores(spans, np.zeros(len(spans)))
+        triples = [
+            score(list(o), list(m)) for o, m in zip(orders, machines)
+        ]
+        return BatchScores(
+            np.array([s.makespan for s in triples], dtype=float),
+            np.array([s.cost for s in triples], dtype=float),
+        )
+
+    def string_scores(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> BatchScores:
+        score = getattr(self._backend, "string_score", None)
+        if score is None:
+            spans = self.string_makespans(strings, validate=validate)
+            return BatchScores(spans, np.zeros(len(spans)))
+        triples = [score(s) for s in strings]
+        return BatchScores(
+            np.array([s.makespan for s in triples], dtype=float),
+            np.array([s.cost for s in triples], dtype=float),
+        )
+
 
 class BatchBackend:
     """A scalar :class:`SimulatorBackend` extended with batch scoring.
@@ -611,11 +689,24 @@ class BatchBackend:
         "prepare_string",
         "evaluate_delta",
         "finish_times",
+        "score",
+        "string_score",
     )
 
-    def __init__(self, scalar: Any, kernel: Any):
+    def __init__(
+        self,
+        scalar: Any,
+        kernel: Any,
+        cost_model: Optional[CostModel] = None,
+    ):
         self._scalar = scalar
         self._kernel = kernel
+        self._cost_model = cost_model
+        if cost_model is not None:
+            try:
+                kernel.cost_model = cost_model
+            except AttributeError:
+                pass  # custom kernel without a cost tier; see batch_scores
         for name in self._FORWARDED:
             method = getattr(scalar, name, None)
             if method is not None:
@@ -657,6 +748,44 @@ class BatchBackend:
     ) -> np.ndarray:
         """Batch of makespans over :class:`ScheduleString` objects."""
         return self._kernel.string_makespans(strings, validate=validate)
+
+    @property
+    def cost_model(self) -> Optional[CostModel]:
+        """The platform billing table the batch cost column charges
+        against (``None`` → the zero model of the uniform platform)."""
+        return self._cost_model
+
+    def batch_scores(
+        self, orders: Any, machines: Any, validate: bool = True
+    ) -> BatchScores:
+        """Batch ``(makespans, costs)``; cost stays vectorized whenever
+        the kernel does (one gather + row sum per batch)."""
+        kern = self._kernel
+        if hasattr(kern, "scores"):
+            return kern.scores(orders, machines, validate=validate)
+        # custom kernel without a cost tier: makespans from the kernel,
+        # costs from the billing table directly
+        spans = kern.makespans(orders, machines, validate=validate)
+        cm = self._cost_model
+        if cm is None:
+            return BatchScores(spans, np.zeros(len(spans)))
+        return BatchScores(
+            spans, cm.batch_costs(np.asarray(machines, dtype=np.intp))
+        )
+
+    def batch_string_scores(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> BatchScores:
+        """:meth:`batch_scores` over :class:`ScheduleString` objects."""
+        kern = self._kernel
+        if hasattr(kern, "string_scores"):
+            return kern.string_scores(strings, validate=validate)
+        spans = kern.string_makespans(strings, validate=validate)
+        cm = self._cost_model
+        if cm is None:
+            return BatchScores(spans, np.zeros(len(spans)))
+        machines = np.array([s.machines for s in strings], dtype=np.intp)
+        return BatchScores(spans, cm.batch_costs(machines))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "vectorized" if self.is_vectorized else "sequential"

@@ -113,9 +113,13 @@ class ContentionBatchSimulator(BatchKernel):
     )
 
     def __init__(
-        self, workload: Workload, pack: Optional[WorkloadPack] = None
+        self,
+        workload: Workload,
+        pack: Optional[WorkloadPack] = None,
+        cost_model=None,
     ):
         pack = self._bind_pack(workload, pack)
+        self._cost_model = cost_model
         self._p = pack.num_items
         (
             self._pad_out_item,

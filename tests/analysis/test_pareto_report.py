@@ -1,0 +1,88 @@
+"""The reporting end of the Pareto pipeline: front / pick / table."""
+
+import pytest
+
+from repro.analysis.pareto import cheapest_within, pareto_front, pareto_table
+from repro.optim.tracking import ParetoPoint
+from repro.schedule.scoring import ScheduleScore
+
+POINTS = [(10.0, 5.0), (12.0, 3.0), (11.0, 6.0), (10.0, 5.0), (15.0, 1.0)]
+
+
+class TestParetoFront:
+    def test_filters_to_non_dominated(self):
+        front = pareto_front(POINTS)
+        assert [(p.makespan, p.cost) for p in front] == [
+            (10.0, 5.0),
+            (12.0, 3.0),
+            (15.0, 1.0),
+        ]
+
+    def test_accepts_mixed_input_shapes(self):
+        score = ScheduleScore(makespan=9.0, cost=7.0, busy=(1.0,))
+        front = pareto_front(
+            [
+                (10.0, 5.0, "pair-candidate"),
+                ParetoPoint(12.0, 3.0, candidate="pp"),
+                score,  # attribute-carrying objects become candidates
+            ]
+        )
+        by_span = {p.makespan: p.candidate for p in front}
+        assert by_span == {9.0: score, 10.0: "pair-candidate", 12.0: "pp"}
+
+    def test_rejects_uninterpretable_items(self):
+        with pytest.raises(TypeError, match="point"):
+            pareto_front([(1.0,)])
+
+    def test_empty_input_empty_front(self):
+        assert pareto_front([]) == []
+
+
+class TestCheapestWithin:
+    def test_picks_cheapest_in_the_slack_band(self):
+        # 12.0 is within 1.2x of 10.0; 15.0 (cheapest overall) is not
+        pick = cheapest_within(POINTS, factor=1.2)
+        assert (pick.makespan, pick.cost) == (12.0, 3.0)
+        # widening the band reaches the cheaper point
+        assert cheapest_within(POINTS, factor=1.5).cost == 1.0
+        # factor 1.0: only the best-makespan point qualifies
+        assert cheapest_within(POINTS, factor=1.0).makespan == 10.0
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="factor"):
+            cheapest_within(POINTS, factor=0.9)
+        with pytest.raises(ValueError, match="points"):
+            cheapest_within([])
+
+    def test_input_need_not_be_a_front(self):
+        # dominated points are filtered before the pick
+        pick = cheapest_within([(10.0, 5.0), (10.5, 9.0)], factor=2.0)
+        assert pick.cost == 5.0
+
+
+class TestParetoTable:
+    def test_columns_and_relative_span(self):
+        table = pareto_table(POINTS)
+        lines = table.splitlines()
+        assert "makespan" in lines[0] and "cost (usd)" in lines[0]
+        assert "cost vs ref" not in lines[0]
+        assert "| 10.000 | 5.0000 | 1.000x |" in table
+        assert "| 12.000 | 3.0000 | 1.200x |" in table
+
+    def test_reference_column_reports_savings(self):
+        ref = ParetoPoint(10.0, 5.0)
+        table = pareto_table(POINTS, reference=ref)
+        assert "cost vs ref" in table
+        assert "+40.0%" in table  # (12.0, 3.0) vs ref cost 5.0
+        assert "+0.0%" in table  # the reference row itself
+
+    def test_label_column(self):
+        table = pareto_table(
+            [(10.0, 5.0, "heft"), (12.0, 3.0, "sa")],
+            label=lambda p: str(p.candidate),
+        )
+        assert table.splitlines()[0].startswith("| schedule |")
+        assert "| sa | 12.000" in table
+
+    def test_empty_front_renders_headers_only(self):
+        assert "makespan" in pareto_table([])

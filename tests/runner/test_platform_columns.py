@@ -1,0 +1,120 @@
+"""The platform/cost columns of the runner's result pipeline.
+
+A cell run under a priced platform must record the catalog name and the
+winning schedule's dollar cost, carry both through JSON and CSV, and
+keep loading cache files written before the columns existed.
+"""
+
+import json
+
+from repro.analysis.grid import grid_from_experiment
+from repro.baselines import heft
+from repro.runner import (
+    AlgorithmSpec,
+    CellResult,
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.workloads import WorkloadSpec, build_workload
+
+
+def spot_spec():
+    return ExperimentSpec(
+        name="platform-cols",
+        algorithms={
+            "HEFT": AlgorithmSpec.make("heft", platform="spot"),
+            "HEFT-uniform": AlgorithmSpec.make("heft"),
+        },
+        workloads=[
+            WorkloadSpec(num_tasks=12, num_machines=3, seed=1, name="w1")
+        ],
+        seeds=(0,),
+    )
+
+
+class TestCells:
+    def test_cells_record_platform_and_cost(self):
+        result = run_experiment(spot_spec())
+        by_algo = {c.algorithm: c for c in result}
+        spot = by_algo["HEFT"]
+        assert (spot.platform, spot.network) == ("spot", "contention-free")
+        w = build_workload(spot_spec().workloads[0])
+        ref = heft(w, platform="spot")
+        assert (spot.makespan, spot.cost) == (ref.makespan, ref.cost)
+        uniform = by_algo["HEFT-uniform"]
+        assert uniform.platform == "uniform"
+        assert uniform.cost == 0.0
+
+    def test_json_round_trip_keeps_columns(self, tmp_path):
+        result = run_experiment(spot_spec())
+        back = ExperimentResult.load_json(
+            result.save_json(tmp_path / "r.json")
+        )
+        assert [(c.platform, c.cost) for c in back] == [
+            (c.platform, c.cost) for c in result
+        ]
+
+    def test_csv_has_platform_and_cost_columns(self, tmp_path):
+        result = run_experiment(spot_spec())
+        lines = (
+            result.save_csv(tmp_path / "r.csv")
+            .read_text()
+            .strip()
+            .splitlines()
+        )
+        header = lines[0].split(",")
+        i_p, i_c = header.index("platform"), header.index("cost")
+        cells = {
+            row.split(",")[1]: row.split(",") for row in lines[1:]
+        }
+        assert cells["HEFT"][i_p] == "spot"
+        assert float(cells["HEFT"][i_c]) > 0.0
+        assert cells["HEFT-uniform"][i_p] == "uniform"
+
+    def test_pre_platform_documents_still_load(self, tmp_path):
+        result = run_experiment(spot_spec())
+        doc = result.to_dict()
+        for cell in doc["cells"]:
+            del cell["platform"]
+            del cell["cost"]
+        p = tmp_path / "old.json"
+        p.write_text(json.dumps(doc))
+        back = ExperimentResult.load_json(p)
+        assert all(c.platform == "uniform" and c.cost == 0.0 for c in back)
+
+
+class TestGrid:
+    def test_grid_cells_carry_platform_and_cost(self):
+        grid = grid_from_experiment(run_experiment(spot_spec()))
+        spot = [c for c in grid.cells if c.platform == "spot"]
+        assert spot and all(c.cost > 0 for c in spot)
+
+    def test_win_loss_platform_filter(self):
+        grid = grid_from_experiment(run_experiment(spot_spec()))
+        spot = grid.win_loss("HEFT", "HEFT-uniform", platform="spot")
+        assert spot.wins + spot.losses + spot.ties == 1
+        # HEFT's cells ran on "spot", so the uniform filter drops them all
+        none = grid.win_loss("HEFT", "HEFT-uniform", platform="uniform")
+        assert none.wins + none.losses + none.ties == 0
+
+
+def test_cell_result_defaults_are_backward_compatible():
+    c = CellResult(
+        cell_id="x",
+        algorithm="a",
+        workload="w",
+        connectivity="high",
+        heterogeneity="lo",
+        ccr="low",
+        num_tasks=1,
+        num_machines=1,
+        seed=0,
+        makespan=1.0,
+        normalized=1.0,
+        evaluations=0,
+        iterations=0,
+        stopped_by="n/a",
+        runtime_seconds=0.0,
+    )
+    assert (c.platform, c.cost) == ("uniform", 0.0)

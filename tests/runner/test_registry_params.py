@@ -175,7 +175,7 @@ class TestAlgorithmParameters:
         from repro.runner import algorithm_parameters
 
         for kind in ("heft", "minmin", "maxmin", "olb"):
-            assert algorithm_parameters(kind) == ("network",)
+            assert algorithm_parameters(kind) == ("network", "platform")
 
     def test_unknown_name_raises_like_resolve(self):
         from repro.runner import algorithm_parameters

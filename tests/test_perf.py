@@ -63,8 +63,41 @@ class TestRecords:
     def test_unit_direction(self):
         assert perf.lower_is_better("us")
         assert perf.lower_is_better("s")
+        assert perf.lower_is_better("usd")
         assert not perf.lower_is_better("x")
         assert not perf.lower_is_better("ops/s")
+
+    def test_cost_metric_requires_currency_unit(self):
+        """A cost record without a currency unit is ambiguous about its
+        regression direction; the schema rejects it at construction."""
+        assert rec("MICRO-P", "schedule_cost", 5.0, "usd").unit == "usd"
+        with pytest.raises(ValueError, match="currency unit"):
+            rec("MICRO-P", "schedule_cost", 5.0, "")
+        with pytest.raises(ValueError, match="currency unit"):
+            rec("MICRO-P", "cost", 5.0, "x")
+
+    def test_load_rejects_unitless_cost_records(self, tmp_path):
+        """The `repro perf check` path: a BENCH file with a unitless
+        cost record must fail to load, not silently gate wrong-way."""
+        path = tmp_path / "bad_cost.json"
+        doc = rec("MICRO-P", "schedule_cost", 5.0, "usd").to_dict()
+        doc["unit"] = ""
+        path.write_text(json.dumps([doc]))
+        with pytest.raises(ValueError, match="currency unit"):
+            perf.load_records(path)
+        with pytest.raises(SystemExit, match="currency unit"):
+            main(
+                ["perf", "check", "--current", str(path), "--baseline", str(path)]
+            )
+
+    def test_cost_regression_direction_in_gate(self):
+        """usd rises beyond tolerance -> regression; falls -> improved."""
+        costly = [rec("A", "schedule_cost", 10.0, "usd")]
+        cheap = [rec("A", "schedule_cost", 5.0, "usd")]
+        assert not perf.compare_records(costly, cheap).ok
+        up = perf.compare_records(cheap, costly)
+        assert up.ok
+        assert [e.status for e in up.entries] == ["improved"]
 
 
 class TestCompare:
@@ -169,9 +202,10 @@ class TestPerfCheckCli:
     def test_committed_baseline_is_loadable_and_machine_portable(self):
         """The baseline shipped in-repo must parse and pin only
         machine-portable metrics (see repro.perf docstring): dimensionless
-        speedup ratios ("x"), plus MICRO-ONLINE's *simulated*-time flow
-        latencies ("s"), which are exactly deterministic in the pinned
-        seeds — wall-clock measurements must never be baselined."""
+        speedup ratios ("x"), MICRO-ONLINE's *simulated*-time flow
+        latencies ("s"), and MICRO-PLATFORM's deterministic schedule
+        costs ("usd") — all exactly reproducible in the pinned seeds;
+        wall-clock measurements must never be baselined."""
         from pathlib import Path
 
         baseline = (
@@ -182,14 +216,21 @@ class TestPerfCheckCli:
         )
         records = perf.load_records(baseline)
         assert records, "committed baseline must not be empty"
-        assert {r.unit for r in records} <= {"x", "s"}
+        assert {r.unit for r in records} <= {"x", "s", "usd"}
         for r in records:
             if r.unit == "s":
                 assert r.bench == "MICRO-ONLINE", (
                     f"{r.key}: only MICRO-ONLINE's simulated-time metrics "
                     "may carry a time unit in the committed baseline"
                 )
+            if r.unit == "usd":
+                assert r.bench == "MICRO-PLATFORM", (
+                    f"{r.key}: only MICRO-PLATFORM's deterministic "
+                    "schedule costs may carry a currency unit in the "
+                    "committed baseline"
+                )
         keys = {r.key for r in records}
         assert ("MICRO-BATCH-GA", "speedup") in keys
         assert ("MICRO-DELTA", "speedup") in keys
         assert ("MICRO-ONLINE", "mean_flow") in keys
+        assert ("MICRO-PLATFORM", "speedup") in keys
