@@ -42,6 +42,7 @@ from repro.analysis.report import (
     markdown_table,
     render_report,
 )
+from repro.analysis.robust import RiskSummary, compare_risk, risk_profile
 from repro.analysis.stats import (
     SummaryStats,
     WinLossRecord,
@@ -100,6 +101,9 @@ __all__ = [
     "cheapest_within",
     "pareto_front",
     "pareto_table",
+    "RiskSummary",
+    "compare_risk",
+    "risk_profile",
     "flow_table",
     "summary_lines",
 ]

@@ -1,0 +1,112 @@
+"""Risk summaries: distributional quality of a schedule under scenarios.
+
+A deterministic run reports one makespan; a stochastic workload gives a
+schedule a whole *distribution* of makespans.  :class:`RiskSummary`
+condenses a scenario sample vector into the statistics the risk-aware
+experiments compare (mean, median, p95, CVaR95, worst case), computed
+with the exact same nearest-rank reducers the scenario objectives use
+(:class:`repro.optim.objective.ScenarioObjective`) — so a schedule
+optimised for ``quantile:0.95`` is judged by the very number it
+optimised.
+
+>>> from repro.analysis.robust import RiskSummary
+>>> s = RiskSummary.from_samples([10.0, 12.0, 11.0, 30.0])
+>>> s.worst
+30.0
+>>> bool(s.mean <= s.p95 <= s.worst)
+True
+
+:func:`risk_profile` scores one schedule string through a
+:class:`~repro.stochastic.scenarios.ScenarioEvaluator`;
+:func:`compare_risk` pits two strings against the *same* scenario set —
+the out-of-sample protocol of the ROBUST-STUDY benchmark (train on one
+``scenario_seed``, judge both contenders on a fresh one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.optim.objective import ScenarioObjective
+
+#: The reducers a summary reports, in presentation order.
+_STATS = (
+    ("mean", ScenarioObjective("mean")),
+    ("p50", ScenarioObjective("quantile", q=0.5)),
+    ("p95", ScenarioObjective("quantile", q=0.95)),
+    ("cvar95", ScenarioObjective("cvar", q=0.95)),
+)
+
+
+@dataclass(frozen=True)
+class RiskSummary:
+    """Distributional statistics of one schedule's scenario makespans."""
+
+    mean: float
+    p50: float
+    p95: float
+    cvar95: float
+    worst: float
+    scenarios: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "RiskSummary":
+        """Summarise a per-scenario makespan vector (``len >= 1``)."""
+        xs = np.asarray(samples, dtype=np.float64)
+        if xs.ndim != 1 or xs.size == 0:
+            raise ValueError(
+                f"samples must be a non-empty 1-D vector, got shape {xs.shape}"
+            )
+        stats = {name: float(obj.reduce(xs)) for name, obj in _STATS}
+        return cls(worst=float(xs.max()), scenarios=int(xs.size), **stats)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "cvar95": self.cvar95,
+            "worst": self.worst,
+            "scenarios": float(self.scenarios),
+        }
+
+    def format_lines(self, indent: str = "") -> list[str]:
+        """Human-readable report lines (used by ``repro run``)."""
+        return [
+            f"{indent}scenarios   {self.scenarios}",
+            f"{indent}mean        {self.mean:.2f}",
+            f"{indent}p50         {self.p50:.2f}",
+            f"{indent}p95         {self.p95:.2f}",
+            f"{indent}CVaR95      {self.cvar95:.2f}",
+            f"{indent}worst       {self.worst:.2f}",
+        ]
+
+
+def risk_profile(evaluator, string) -> RiskSummary:
+    """Summary of *string* under *evaluator*'s scenario set.
+
+    *evaluator* is a :class:`~repro.stochastic.scenarios.
+    ScenarioEvaluator`; *string* a :class:`~repro.schedule.encoding.
+    ScheduleString`.
+    """
+    return RiskSummary.from_samples(evaluator.samples_string(string))
+
+
+def compare_risk(evaluator, baseline, contender) -> Dict[str, float]:
+    """Per-statistic ratio ``contender / baseline`` on shared scenarios.
+
+    Values below 1.0 mean the contender is better (smaller) on that
+    statistic.  Both strings are scored against the *same* evaluator —
+    i.e. the same sampled scenario set — so the comparison is paired,
+    and an evaluator built with a fresh ``scenario_seed`` makes it an
+    out-of-sample judgement.
+    """
+    base = risk_profile(evaluator, baseline).to_dict()
+    cont = risk_profile(evaluator, contender).to_dict()
+    return {
+        name: cont[name] / base[name]
+        for name in ("mean", "p50", "p95", "cvar95", "worst")
+    }

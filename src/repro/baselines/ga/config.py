@@ -21,6 +21,7 @@ from repro.schedule.backend import (
     DEFAULT_PLATFORM,
     resolve_platform,
 )
+from repro.stochastic.distributions import validate_scenario_settings
 from repro.utils.rng import RandomSource
 
 
@@ -79,8 +80,14 @@ class GAConfig:
         default ``"uniform"`` reproduces the historical behaviour bit
         for bit (see :mod:`repro.model.platform`).
     objective:
-        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — the
-        fitness scalar (see :mod:`repro.optim.objective`).
+        ``"makespan"`` (default), ``"weighted:<w_m>:<w_c>"``, or a
+        scenario (risk) objective ``mean`` / ``quantile:<q>`` /
+        ``cvar:<q>`` / ``saa:<T>:<eps>`` — the fitness scalar (see
+        :mod:`repro.optim.objective`).
+    scenarios, distribution, scenario_seed:
+        Monte-Carlo axis of the scenario objectives (see
+        :mod:`repro.stochastic`); only valid together with a scenario
+        objective.
     seed:
         Seed / generator for all stochastic choices.
     """
@@ -97,6 +104,9 @@ class GAConfig:
     network: str = DEFAULT_NETWORK
     platform: str = DEFAULT_PLATFORM
     objective: str = "makespan"
+    scenarios: int = 0
+    distribution: str = "deterministic"
+    scenario_seed: int = 0
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -133,6 +143,9 @@ class GAConfig:
             )
         resolve_platform(self.platform)
         resolve_objective(self.objective)
+        validate_scenario_settings(
+            self.objective, self.scenarios, self.distribution
+        )
 
     def stop_policy(self) -> StopPolicy:
         """The run's stopping rules as a shared :class:`StopPolicy`.

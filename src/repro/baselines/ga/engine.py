@@ -143,6 +143,9 @@ class GeneticAlgorithm:
             prefer_batch=cfg.batch_fitness,
             platform=cfg.platform,
             objective=cfg.objective,
+            scenarios=cfg.scenarios,
+            distribution=cfg.distribution,
+            scenario_seed=cfg.scenario_seed,
         )
         use_batch = cfg.batch_fitness and service.is_vectorized
 

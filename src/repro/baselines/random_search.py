@@ -43,6 +43,9 @@ def random_search(
     batch_size: int = 128,
     platform=DEFAULT_PLATFORM,
     objective: str = "makespan",
+    scenarios: int = 0,
+    distribution: str = "deterministic",
+    scenario_seed: int = 0,
 ) -> BaselineResult:
     """Best of *samples* uniformly random valid strings.
 
@@ -72,9 +75,14 @@ def random_search(
         default ``"uniform"`` changes nothing (see
         :mod:`repro.model.platform`).
     objective:
-        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — the
-        scalar the best sample minimises (see
-        :mod:`repro.optim.objective`).
+        ``"makespan"`` (default), ``"weighted:<w_m>:<w_c>"``, or a
+        scenario (risk) objective ``mean`` / ``quantile:<q>`` /
+        ``cvar:<q>`` / ``saa:<T>:<eps>`` — the scalar the best sample
+        minimises (see :mod:`repro.optim.objective`).
+    scenarios, distribution, scenario_seed:
+        Monte-Carlo axis of the scenario objectives (see
+        :mod:`repro.stochastic`); only valid together with a scenario
+        objective.
     """
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
@@ -89,6 +97,9 @@ def random_search(
         prefer_batch=want_batch,
         platform=platform,
         objective=objective,
+        scenarios=scenarios,
+        distribution=distribution,
+        scenario_seed=scenario_seed,
     )
     use_batch = want_batch and service.is_vectorized
     policy = StopPolicy(max_iterations=samples, time_limit=time_limit)

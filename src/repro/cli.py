@@ -124,10 +124,86 @@ def _check_platform(command: str, platform: str) -> None:
         raise SystemExit(f"{command}: {exc}")
 
 
+#: Registry algorithms that optimise a configurable objective — the only
+#: ones the risk flags (--objective/--scenarios/--distribution) apply to.
+_RISK_ALGOS = ("se", "hybrid", "ga", "sa", "tabu", "random")
+
+
+def _risk_requested(args: argparse.Namespace) -> bool:
+    """True when any risk flag departs from its deterministic default."""
+    return (
+        args.objective != "makespan"
+        or args.scenarios != 0
+        or args.distribution != "deterministic"
+    )
+
+
+def _risk_params(args: argparse.Namespace) -> dict:
+    return {
+        "objective": args.objective,
+        "scenarios": args.scenarios,
+        "distribution": args.distribution,
+        "scenario_seed": args.scenario_seed,
+    }
+
+
+def _check_risk_flags(command: str, args: argparse.Namespace) -> bool:
+    """Validate the risk-flag bundle; True when a scenario objective.
+
+    The flags only make sense together — a scenario objective needs
+    ``--scenarios``, and scenario sampling needs a scenario objective —
+    so the shared :func:`~repro.stochastic.distributions.
+    validate_scenario_settings` rule is applied up front for a clean
+    CLI error instead of a config-construction traceback.
+    """
+    from repro.stochastic.distributions import validate_scenario_settings
+
+    try:
+        obj, _ = validate_scenario_settings(
+            args.objective, args.scenarios, args.distribution
+        )
+    except ValueError as exc:
+        raise SystemExit(f"{command}: {exc}")
+    return bool(getattr(obj, "is_scenario", False))
+
+
+def _print_risk_profile(args: argparse.Namespace, w: Workload, best) -> None:
+    """Report the winner's makespan distribution over the scenario set."""
+    from repro.analysis.robust import RiskSummary
+    from repro.optim import EvaluationService
+
+    svc = EvaluationService(
+        w,
+        args.network,
+        prefer_batch=True,
+        platform=args.platform,
+        **_risk_params(args),
+    )
+    samples = svc.scenario_evaluator.samples_string(best)
+    obj = svc.objective
+    print(
+        f"\n{obj.name} over {args.scenarios} x {args.distribution} "
+        f"scenarios (seed {args.scenario_seed}): {obj.reduce(samples):.2f}"
+    )
+    if obj.kind == "saa":
+        verdict = "satisfied" if obj.feasible(samples) else "VIOLATED"
+        print(f"chance constraint: {verdict}")
+    print("risk profile of the winner:")
+    print("\n".join(RiskSummary.from_samples(samples).format_lines("  ")))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     _check_platform("run", args.platform)
+    is_scenario = _check_risk_flags("run", args)
+    if _risk_requested(args) and args.algo not in _RISK_ALGOS:
+        raise SystemExit(
+            f"run: --objective/--scenarios/--distribution apply to "
+            f"{', '.join(_RISK_ALGOS)} only, not {args.algo!r} "
+            "(deterministic heuristics have no objective to swap)"
+        )
     w = _load_workload(args.preset, args.seed)
     algo = args.algo
+    risk = _risk_params(args)
     if args.verbose:
         # capability of the selected backend, not a per-run trace: only
         # algorithms that batch-score (ga, tabu, random, se with
@@ -150,6 +226,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 selection_bias=args.bias,
                 network=args.network,
                 platform=args.platform,
+                **risk,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -166,6 +243,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 time_limit=args.budget,
                 network=args.network,
                 platform=args.platform,
+                **risk,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -184,6 +262,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 time_limit=args.budget,
                 network=args.network,
                 platform=args.platform,
+                **risk,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -200,6 +279,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 time_limit=args.budget,
                 network=args.network,
                 platform=args.platform,
+                **risk,
             ),
         )
         schedule, makespan = res.best_schedule, res.best_makespan
@@ -219,20 +299,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 network=network,
                 platform=platform,
+                **risk,
             ),
         }
         res = fns[algo](w, network=args.network, platform=args.platform)
         schedule, makespan = res.schedule, res.makespan
         print(f"{res.name} finished ({res.evaluations} evaluations)")
 
-    print(f"\nmakespan ({args.network}): {makespan:.2f}")
+    best = res.string if hasattr(res, "string") else res.best_string
+    if is_scenario:
+        # engines report the winner's *nominal* makespan; the optimised
+        # risk statistic follows in the profile block
+        print(f"\nnominal makespan ({args.network}): {makespan:.2f}")
+        _print_risk_profile(args, w, best)
+    else:
+        print(f"\nmakespan ({args.network}): {makespan:.2f}")
     # metrics (and billing) against the workload the run actually
     # scored: the platform's speed-scaled matrix, or w itself on uniform
     eff, cost_model = _platform_cost_model(w, args.platform)
     if cost_model is not None:
-        machines = (
-            res.string if hasattr(res, "string") else res.best_string
-        ).machines
+        machines = best.machines
         print(
             f"cost ({args.platform}): "
             f"{cost_model.cost(machines):.4f} usd"
@@ -347,6 +433,26 @@ def _networks_listing() -> str:
     )
 
 
+def _objectives_listing() -> str:
+    """Every objective grammar form with its scenario requirement."""
+    from repro.optim.objective import OBJECTIVE_FORMS
+
+    lines = []
+    for form, needs_scenarios, desc in OBJECTIVE_FORMS:
+        tag = "scenario" if needs_scenarios else "deterministic"
+        lines.append(f"  {form:26s} [{tag}] {desc}")
+    return "\n".join(lines)
+
+
+def _distributions_listing() -> str:
+    """Every duration-noise distribution form."""
+    from repro.stochastic.distributions import DISTRIBUTION_FORMS
+
+    return "\n".join(
+        f"  {form:26s} {desc}" for form, desc in DISTRIBUTION_FORMS
+    )
+
+
 def _cmd_algorithms(args: argparse.Namespace) -> int:
     print("registry algorithms and their AlgorithmSpec parameters:")
     print(_algorithms_listing())
@@ -354,6 +460,10 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
     print(_networks_listing())
     print("\nplatform catalogs (--platform) and their cost paths:")
     print(_platforms_listing())
+    print("\nobjectives (--objective; scenario forms need --scenarios):")
+    print(_objectives_listing())
+    print("\nduration distributions (--distribution):")
+    print(_distributions_listing())
     return 0
 
 
@@ -418,6 +528,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.workloads import WorkloadSuite
 
     _check_platform("sweep", args.platform)
+    _check_risk_flags("sweep", args)
     algos = [a.strip().lower() for a in args.algos.split(",") if a.strip()]
     unknown = sorted(set(algos) - set(available_algorithms()))
     if unknown:
@@ -425,9 +536,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"unknown algorithms {unknown}; available (with their "
             f"AlgorithmSpec parameters):\n{_algorithms_listing()}"
         )
+    if _risk_requested(args):
+        bad = sorted(set(algos) - set(_RISK_ALGOS))
+        if bad:
+            raise SystemExit(
+                f"sweep: --objective/--scenarios/--distribution apply to "
+                f"{', '.join(_RISK_ALGOS)} only; drop {bad} from "
+                "--algorithms"
+            )
 
     def algo_spec(kind: str) -> AlgorithmSpec:
         network = {"network": args.network, "platform": args.platform}
+        # only annotate specs when risk flags were set: default params
+        # keep historical cell fingerprints, so existing caches resume
+        if _risk_requested(args) and kind in _RISK_ALGOS:
+            network.update(_risk_params(args))
         if kind in ("se", "hybrid", "tabu"):
             params = {"max_iterations": args.iterations}
             if args.budget is not None:
@@ -779,6 +902,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_risk_flags(p: argparse.ArgumentParser) -> None:
+        """The risk bundle shared by run and sweep."""
+        p.add_argument(
+            "--objective",
+            default="makespan",
+            help="scalar to optimise: makespan, weighted:<wm>:<wc>, or "
+            "a scenario objective mean / quantile:<q> / cvar:<q> / "
+            "saa:<T>:<eps> (see `repro algorithms`)",
+        )
+        p.add_argument(
+            "--scenarios",
+            type=int,
+            default=0,
+            help="Monte-Carlo scenarios backing a scenario objective "
+            "(0 = deterministic)",
+        )
+        p.add_argument(
+            "--distribution",
+            default="deterministic",
+            help="duration-noise model for scenario sampling, e.g. "
+            "lognormal:0.25 (see `repro algorithms`)",
+        )
+        p.add_argument(
+            "--scenario-seed",
+            type=int,
+            default=0,
+            help="seed of the scenario sample (independent of --seed)",
+        )
+
     p = sub.add_parser("describe", help="print a workload preset summary")
     p.add_argument("--preset", default="small", choices=sorted(PRESETS))
     p.add_argument("--seed", type=int, default=0)
@@ -816,6 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine catalog the run is costed against "
         "(see `repro algorithms`; default changes nothing)",
     )
+    add_risk_flags(p)
     p.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
     p.add_argument(
         "--verbose",
@@ -899,6 +1052,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine catalog every algorithm is costed against "
         "(adds a cost column to the artifacts)",
     )
+    add_risk_flags(p)
     p.add_argument("--workers", type=int, default=1, help="process count")
     p.add_argument("--cache", default=None, help="resume-cache directory")
     p.add_argument("--out", default=None, help="write JSON+CSV artifacts here")

@@ -31,6 +31,7 @@ from repro.schedule.backend import (
     DEFAULT_PLATFORM,
     resolve_platform,
 )
+from repro.stochastic.distributions import validate_scenario_settings
 from repro.utils.rng import RandomSource
 
 AllocationSlots = Literal["per-machine", "all-positions"]
@@ -106,9 +107,19 @@ class SEConfig:
         default ``"uniform"`` reproduces the historical behaviour bit
         for bit (see :mod:`repro.model.platform`).
     objective:
-        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — the
-        scalar evaluation/allocation optimise (see
+        ``"makespan"`` (default), ``"weighted:<w_m>:<w_c>"``, or a
+        scenario (risk) objective ``mean`` / ``quantile:<q>`` /
+        ``cvar:<q>`` / ``saa:<T>:<eps>`` — the scalar
+        evaluation/allocation optimise (see
         :mod:`repro.optim.objective`).
+    scenarios, distribution, scenario_seed:
+        Monte-Carlo axis of the scenario objectives: sample
+        ``scenarios`` perturbations of the matrices from
+        ``distribution`` (``"lognormal:0.25"``, ``"uniform:0.2"``,
+        ``"empirical:1,1,1,4"``, ...) under ``scenario_seed`` and
+        optimise the objective's reduction over them (see
+        :mod:`repro.stochastic`).  Only valid together with a scenario
+        objective.
     seed:
         Seed / generator for all stochastic choices of the run.
 
@@ -130,6 +141,9 @@ class SEConfig:
     network: str = DEFAULT_NETWORK
     platform: str = DEFAULT_PLATFORM
     objective: str = "makespan"
+    scenarios: int = 0
+    distribution: str = "deterministic"
+    scenario_seed: int = 0
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -176,6 +190,9 @@ class SEConfig:
             )
         resolve_platform(self.platform)
         resolve_objective(self.objective)
+        validate_scenario_settings(
+            self.objective, self.scenarios, self.distribution
+        )
 
     def stop_policy(self) -> StopPolicy:
         """The run's stopping rules as a shared :class:`StopPolicy`."""

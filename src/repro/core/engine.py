@@ -118,6 +118,9 @@ class SimulatedEvolution:
             prefer_batch=cfg.probe_evaluation == "batch",
             platform=cfg.platform,
             objective=cfg.objective,
+            scenarios=cfg.scenarios,
+            distribution=cfg.distribution,
+            scenario_seed=cfg.scenario_seed,
         )
         # Goodness and the allocator's machine ranking read the workload
         # the backend actually scores — the platform's speed-scaled

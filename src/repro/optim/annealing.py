@@ -56,6 +56,7 @@ from repro.schedule.backend import (
 )
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.operations import random_valid_string
+from repro.stochastic.distributions import validate_scenario_settings
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.timers import Stopwatch
 
@@ -105,9 +106,14 @@ class SAConfig:
         default ``"uniform"`` reproduces the historical behaviour bit
         for bit (see :mod:`repro.model.platform`).
     objective:
-        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — what
-        the annealer's acceptance rule compares (see
-        :mod:`repro.optim.objective`).
+        ``"makespan"`` (default), ``"weighted:<w_m>:<w_c>"``, or a
+        scenario (risk) objective ``mean`` / ``quantile:<q>`` /
+        ``cvar:<q>`` / ``saa:<T>:<eps>`` — what the annealer's
+        acceptance rule compares (see :mod:`repro.optim.objective`).
+    scenarios, distribution, scenario_seed:
+        Monte-Carlo axis of the scenario objectives (see
+        :mod:`repro.stochastic`); only valid together with a scenario
+        objective.
     seed:
         Seed / generator for all stochastic choices.
     """
@@ -124,6 +130,9 @@ class SAConfig:
     network: str = DEFAULT_NETWORK
     platform: str = DEFAULT_PLATFORM
     objective: str = "makespan"
+    scenarios: int = 0
+    distribution: str = "deterministic"
+    scenario_seed: int = 0
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -155,6 +164,9 @@ class SAConfig:
             )
         resolve_platform(self.platform)
         resolve_objective(self.objective)
+        validate_scenario_settings(
+            self.objective, self.scenarios, self.distribution
+        )
         # iteration/time/stall bounds are validated by the StopPolicy
         StopPolicy(self.max_iterations, self.time_limit, self.stall_iterations)
 
@@ -209,6 +221,9 @@ class SimulatedAnnealing:
                 prefer_batch=False,
                 platform=cfg.platform,
                 objective=cfg.objective,
+                scenarios=cfg.scenarios,
+                distribution=cfg.distribution,
+                scenario_seed=cfg.scenario_seed,
             )
         watch = Stopwatch()
 

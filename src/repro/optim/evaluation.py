@@ -85,6 +85,19 @@ class EvaluationService:
         Optional :class:`~repro.optim.tracking.ParetoTracker`; every
         point scored through this service is offered to it, so a run
         accumulates the (makespan, cost) front as a side effect.
+    scenarios, distribution, scenario_seed:
+        The Monte-Carlo axis of the *scenario* objectives (``mean`` /
+        ``quantile:<q>`` / ``cvar:<q>`` / ``saa:<T>:<eps>`` — see
+        :mod:`repro.stochastic` and ``docs/risk_aware.md``): the
+        backend is wrapped in a :class:`~repro.stochastic.scenarios.
+        ScenarioBackend` scoring every engine-compared scalar as the
+        objective's reduction over ``scenarios`` sampled perturbations
+        of the (platform-scaled) matrices.  ``scenarios``/non-default
+        ``distribution`` without a scenario objective — or a scenario
+        objective without ``scenarios >= 1`` — raise immediately.
+        Scenario objectives cannot combine with residual initial state,
+        Pareto tracking, or platforms with boot delays (boot is initial
+        state).
     """
 
     __slots__ = (
@@ -97,6 +110,7 @@ class EvaluationService:
         "_objective",
         "_pareto",
         "_cost_model",
+        "_scenario",
     )
 
     def __init__(
@@ -109,6 +123,9 @@ class EvaluationService:
         platform=DEFAULT_PLATFORM,
         objective="makespan",
         pareto=None,
+        scenarios: int = 0,
+        distribution="deterministic",
+        scenario_seed: int = 0,
     ):
         self._workload = workload
         self._network = network
@@ -121,10 +138,47 @@ class EvaluationService:
             initial_nic_free=initial_nic_free,
             platform=platform,
         )
-        self._objective = resolve_objective(objective)
+        from repro.stochastic.distributions import validate_scenario_settings
+
+        self._objective, dist_spec = validate_scenario_settings(
+            objective, scenarios, distribution
+        )
         self._pareto = pareto
         self._cost_model = getattr(self._raw, "cost_model", None)
-        if self._objective.is_makespan and pareto is None:
+        self._scenario = None
+        if getattr(self._objective, "is_scenario", False):
+            if pareto is not None:
+                raise ValueError(
+                    "Pareto tracking is not supported with scenario "
+                    "objectives (risk objectives are makespan-only)"
+                )
+            if initial_avail is not None or initial_nic_free is not None:
+                raise ValueError(
+                    "scenario objectives do not support residual "
+                    "(initial-state) evaluation"
+                )
+            if resolve_platform(platform).has_boot:
+                raise ValueError(
+                    f"platform {self.platform!r} has boot delays (initial "
+                    "state), which scenario objectives do not support"
+                )
+            from repro.stochastic import ScenarioBackend, ScenarioEvaluator
+            from repro.stochastic.distributions import sample_scenarios
+
+            self._scenario = ScenarioEvaluator(
+                sample_scenarios(
+                    self.effective_workload,
+                    dist_spec,
+                    scenarios,
+                    seed=scenario_seed,
+                ),
+                network=network,
+                prefer_batch=prefer_batch,
+            )
+            self._backend = ScenarioBackend(
+                self._raw, self._scenario, self._objective
+            )
+        elif self._objective.is_makespan and pareto is None:
             # the default: the unwrapped backend, bit-identical
             self._backend = self._raw
         else:
@@ -164,6 +218,17 @@ class EvaluationService:
     def pareto(self) -> Any:
         """The attached :class:`ParetoTracker`, or ``None``."""
         return self._pareto
+
+    @property
+    def scenario_evaluator(self) -> Any:
+        """The :class:`~repro.stochastic.scenarios.ScenarioEvaluator`
+        behind a scenario objective, or ``None`` (the default)."""
+        return self._scenario
+
+    @property
+    def scenarios(self) -> int:
+        """Scenario count ``S`` of a scenario objective (0 otherwise)."""
+        return 0 if self._scenario is None else self._scenario.scenarios
 
     @property
     def effective_workload(self) -> Workload:

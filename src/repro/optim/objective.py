@@ -12,8 +12,18 @@ optimise cost-aware without a single engine change.
 * :func:`weighted` — the weighted-sum objective ``weighted(w_m, w_c)``;
 * :data:`MAKESPAN` — the identity objective (scalar == makespan, bit
   for bit; the default everywhere, so golden results cannot move);
+* :class:`ScenarioObjective` — the *risk* objectives over Monte-Carlo
+  scenario makespans (``mean`` / ``quantile:q`` / ``cvar:q`` /
+  ``saa:T:eps``; see :mod:`repro.stochastic` and
+  ``docs/risk_aware.md``).  They carry only the *reduction* — sampling
+  and scenario scoring live in
+  :class:`~repro.stochastic.scenarios.ScenarioEvaluator`, and the
+  service routes through a
+  :class:`~repro.stochastic.scenarios.ScenarioBackend` instead of the
+  :class:`ObjectiveBackend` below;
 * :func:`resolve_objective` — parses the JSON/CLI-safe string forms
-  ``"makespan"`` and ``"weighted:<w_m>:<w_c>"``;
+  ``"makespan"``, ``"weighted:<w_m>:<w_c>"``, ``"mean"``,
+  ``"quantile:<q>"``, ``"cvar:<q>"`` and ``"saa:<T>:<eps>"``;
 * :class:`ObjectiveBackend` — the
   :class:`~repro.schedule.backend.SimulatorBackend` wrapper.  It keeps
   the delta tier's branch-and-bound exact by transforming the caller's
@@ -29,6 +39,13 @@ optimise cost-aware without a single engine change.
 73.0
 >>> resolve_objective("makespan").is_makespan
 True
+>>> p95 = resolve_objective("quantile:0.95")
+>>> p95.is_scenario
+True
+>>> p95.reduce([3.0, 1.0, 2.0, 10.0])  # nearest-rank: 4th of 4
+10.0
+>>> resolve_objective("cvar:0.5").reduce([1.0, 2.0, 3.0, 4.0])
+3.0
 """
 
 from __future__ import annotations
@@ -45,7 +62,9 @@ __all__ = [
     "MAKESPAN",
     "MakespanObjective",
     "WeightedObjective",
+    "ScenarioObjective",
     "Objective",
+    "OBJECTIVE_FORMS",
     "weighted",
     "resolve_objective",
     "ObjectiveBackend",
@@ -59,6 +78,7 @@ class MakespanObjective:
 
     name = "makespan"
     is_makespan = True
+    is_scenario = False
 
     def scalarize(self, makespan: float, cost: float) -> float:
         return makespan
@@ -89,6 +109,7 @@ class WeightedObjective:
     w_cost: float
 
     is_makespan = False
+    is_scenario = False
 
     def __post_init__(self) -> None:
         for label, w in (
@@ -133,7 +154,184 @@ class WeightedObjective:
         )
 
 
-Objective = Union[MakespanObjective, WeightedObjective]
+def _nearest_rank(q: float, n: int) -> int:
+    """The 1-indexed nearest-rank of quantile *q* over *n* samples.
+
+    Exactly :func:`repro.online.metrics.OnlineMetrics`'s percentile
+    arithmetic (``max(1, ceil(q * n))``), so a risk objective's
+    ``quantile:0.95`` and the online service's reported p95 agree on
+    the same samples (pinned by ``tests/stochastic``).
+    """
+    return max(1, math.ceil(q * n))
+
+
+@dataclass(frozen=True)
+class ScenarioObjective:
+    """A reduction of Monte-Carlo scenario makespans to one scalar.
+
+    The engines still optimise a single float; under a scenario
+    objective that float is a *risk statistic* of the schedule's
+    makespan distribution, estimated over ``S`` sampled scenarios (the
+    sample-average approximation of arXiv:2210.11889 — see
+    ``docs/risk_aware.md``):
+
+    * ``mean`` — the empirical expectation;
+    * ``quantile:<q>`` — the nearest-rank q-quantile (``rank = max(1,
+      ceil(q * S))`` of the ascending sort, matching
+      :meth:`repro.online.metrics.OnlineMetrics` percentiles);
+    * ``cvar:<q>`` — the mean of the tail *from the q-quantile up*
+      (``S - rank + 1`` worst scenarios; ``cvar:0`` is the mean,
+      ``S = 1`` is the single value);
+    * ``saa:<T>:<eps>`` — the chance constraint ``P[makespan <= T] >=
+      1 - eps``, scored by its SAA surrogate, the ``(1-eps)``-quantile:
+      minimising the surrogate drives the constraint toward
+      feasibility, and :meth:`feasible` reports whether the sampled
+      constraint holds.
+
+    Instances only *reduce*; scenario sampling and B×S batch scoring
+    live in :class:`~repro.stochastic.scenarios.ScenarioEvaluator`.
+    ``scalarize`` ignores cost (risk objectives are makespan-only), so
+    trace/result assembly code that scalarizes real ``(makespan,
+    cost)`` points keeps working.
+    """
+
+    kind: str
+    q: float = 0.5
+    target: float = 0.0
+    eps: float = 0.0
+
+    is_makespan = False
+    is_scenario = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("mean", "quantile", "cvar", "saa"):
+            raise ValueError(
+                f"unknown scenario objective kind {self.kind!r}; expected "
+                "'mean', 'quantile', 'cvar' or 'saa'"
+            )
+        if self.kind == "quantile" and not (
+            math.isfinite(self.q) and 0 < self.q <= 1
+        ):
+            raise ValueError(
+                f"quantile level must be in (0, 1], got {self.q!r}"
+            )
+        if self.kind == "cvar" and not (
+            math.isfinite(self.q) and 0 <= self.q < 1
+        ):
+            raise ValueError(
+                f"cvar level must be in [0, 1), got {self.q!r}"
+            )
+        if self.kind == "saa":
+            if not (math.isfinite(self.target) and self.target > 0):
+                raise ValueError(
+                    f"saa target T must be finite and > 0, got {self.target!r}"
+                )
+            if not (math.isfinite(self.eps) and 0 < self.eps < 1):
+                raise ValueError(
+                    f"saa eps must be in (0, 1), got {self.eps!r}"
+                )
+
+    @property
+    def name(self) -> str:
+        if self.kind == "mean":
+            return "mean"
+        if self.kind == "saa":
+            return f"saa:{self.target:g}:{self.eps:g}"
+        return f"{self.kind}:{self.q:g}"
+
+    @property
+    def level(self) -> float:
+        """The quantile level the reduction sorts at (1.0 for ``mean``)."""
+        if self.kind == "mean":
+            return 1.0
+        if self.kind == "saa":
+            return 1.0 - self.eps
+        return self.q
+
+    def reduce(self, samples) -> float:
+        """One scenario-makespan vector ``(S,)`` -> the risk scalar."""
+        xs = np.asarray(samples, dtype=float)
+        if xs.ndim != 1 or xs.size == 0:
+            raise ValueError(
+                f"samples must be a non-empty 1-d vector, got shape {xs.shape}"
+            )
+        if self.kind == "mean":
+            return float(xs.mean())
+        xs = np.sort(xs)
+        rank = _nearest_rank(self.level, xs.size)
+        if self.kind == "cvar":
+            return float(xs[rank - 1 :].mean())
+        return float(xs[rank - 1])
+
+    def reduce_matrix(self, matrix) -> np.ndarray:
+        """An ``(S, B)`` scenario-makespan matrix -> ``(B,)`` scalars.
+
+        Column ``b`` equals ``reduce(matrix[:, b])`` exactly (same
+        sort, same rank arithmetic), so batch and scalar scoring of the
+        same schedule cannot disagree.
+        """
+        m = np.asarray(matrix, dtype=float)
+        if m.ndim != 2 or m.shape[0] == 0:
+            raise ValueError(
+                f"matrix must be (scenarios, batch) with scenarios >= 1, "
+                f"got shape {m.shape}"
+            )
+        if self.kind == "mean":
+            return m.mean(axis=0)
+        m = np.sort(m, axis=0)
+        rank = _nearest_rank(self.level, m.shape[0])
+        if self.kind == "cvar":
+            return m[rank - 1 :].mean(axis=0)
+        return m[rank - 1]
+
+    def feasible(self, samples) -> bool:
+        """Whether the sampled chance constraint holds (``saa`` only)."""
+        if self.kind != "saa":
+            raise ValueError(
+                f"feasible() is only defined for 'saa' objectives, not "
+                f"{self.name!r}"
+            )
+        return self.reduce(samples) <= self.target
+
+    def scalarize(self, makespan: float, cost: float) -> float:
+        return makespan
+
+    def scalarize_arrays(
+        self, makespans: np.ndarray, costs: np.ndarray
+    ) -> np.ndarray:
+        return makespans
+
+
+Objective = Union[MakespanObjective, WeightedObjective, ScenarioObjective]
+
+#: The objective grammar, one ``(form, needs_scenarios, description)``
+#: triple per accepted spelling — the single source the CLI listing
+#: (``repro algorithms``) and the docs point at.
+OBJECTIVE_FORMS = (
+    ("makespan", False, "schedule makespan (the default, bit-identical)"),
+    (
+        "weighted:<w_makespan>:<w_cost>",
+        False,
+        "weighted sum over (makespan, dollar cost)",
+    ),
+    ("mean", True, "mean makespan over Monte-Carlo scenarios"),
+    (
+        "quantile:<q>",
+        True,
+        "nearest-rank q-quantile of scenario makespans (e.g. quantile:0.95)",
+    ),
+    (
+        "cvar:<q>",
+        True,
+        "mean of the scenario-makespan tail from the q-quantile up",
+    ),
+    (
+        "saa:<T>:<eps>",
+        True,
+        "SAA chance constraint P[makespan <= T] >= 1-eps, "
+        "scored by the (1-eps)-quantile",
+    ),
+)
 
 #: The default objective — today's behaviour, golden-pinned.
 MAKESPAN = MakespanObjective()
@@ -147,10 +345,16 @@ def weighted(w_makespan: float, w_cost: float) -> WeightedObjective:
 def resolve_objective(spec: Union[str, Objective]) -> Objective:
     """*spec* as an objective object.
 
-    Accepts an objective instance, ``"makespan"``, or the JSON/CLI-safe
-    ``"weighted:<w_m>:<w_c>"`` form (e.g. ``"weighted:0.7:0.3"``).
+    Accepts an objective instance or any JSON/CLI-safe string form of
+    :data:`OBJECTIVE_FORMS`: ``"makespan"``,
+    ``"weighted:<w_m>:<w_c>"`` (e.g. ``"weighted:0.7:0.3"``), or a
+    scenario reduction — ``"mean"``, ``"quantile:<q>"``,
+    ``"cvar:<q>"``, ``"saa:<T>:<eps>"`` (which additionally need
+    ``scenarios >= 1`` wherever they are evaluated).
     """
-    if isinstance(spec, (MakespanObjective, WeightedObjective)):
+    if isinstance(
+        spec, (MakespanObjective, WeightedObjective, ScenarioObjective)
+    ):
         return spec
     if not isinstance(spec, str):
         raise ValueError(
@@ -158,16 +362,27 @@ def resolve_objective(spec: Union[str, Objective]) -> Objective:
         )
     if spec == "makespan":
         return MAKESPAN
-    if spec.startswith("weighted:"):
-        parts = spec.split(":")
-        if len(parts) == 3:
-            try:
+    if spec == "mean":
+        return ScenarioObjective("mean")
+    try:
+        if spec.startswith("weighted:"):
+            parts = spec.split(":")
+            if len(parts) == 3:
                 return weighted(float(parts[1]), float(parts[2]))
-            except ValueError as e:
-                raise ValueError(f"bad objective {spec!r}: {e}") from None
+        elif spec.startswith(("quantile:", "cvar:")):
+            kind, _, level = spec.partition(":")
+            return ScenarioObjective(kind, q=float(level))
+        elif spec.startswith("saa:"):
+            parts = spec.split(":")
+            if len(parts) == 3:
+                return ScenarioObjective(
+                    "saa", target=float(parts[1]), eps=float(parts[2])
+                )
+    except ValueError as e:
+        raise ValueError(f"bad objective {spec!r}: {e}") from None
     raise ValueError(
-        f"unknown objective {spec!r}; expected 'makespan' or "
-        "'weighted:<w_makespan>:<w_cost>'"
+        f"unknown objective {spec!r}; expected one of: "
+        + ", ".join(form for form, _, _ in OBJECTIVE_FORMS)
     )
 
 

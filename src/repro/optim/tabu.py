@@ -58,6 +58,7 @@ from repro.schedule.backend import (
 )
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.operations import random_valid_string
+from repro.stochastic.distributions import validate_scenario_settings
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.timers import Stopwatch
 
@@ -90,9 +91,14 @@ class TabuConfig:
         default ``"uniform"`` reproduces the historical behaviour bit
         for bit (see :mod:`repro.model.platform`).
     objective:
-        ``"makespan"`` (default) or ``"weighted:<w_m>:<w_c>"`` — the
-        scalar the admissibility rule compares (see
-        :mod:`repro.optim.objective`).
+        ``"makespan"`` (default), ``"weighted:<w_m>:<w_c>"``, or a
+        scenario (risk) objective ``mean`` / ``quantile:<q>`` /
+        ``cvar:<q>`` / ``saa:<T>:<eps>`` — the scalar the
+        admissibility rule compares (see :mod:`repro.optim.objective`).
+    scenarios, distribution, scenario_seed:
+        Monte-Carlo axis of the scenario objectives (see
+        :mod:`repro.stochastic`); only valid together with a scenario
+        objective.
     seed:
         Seed / generator for all stochastic choices.
     """
@@ -106,6 +112,9 @@ class TabuConfig:
     network: str = DEFAULT_NETWORK
     platform: str = DEFAULT_PLATFORM
     objective: str = "makespan"
+    scenarios: int = 0
+    distribution: str = "deterministic"
+    scenario_seed: int = 0
     seed: RandomSource = None
 
     def __post_init__(self) -> None:
@@ -125,6 +134,9 @@ class TabuConfig:
             )
         resolve_platform(self.platform)
         resolve_objective(self.objective)
+        validate_scenario_settings(
+            self.objective, self.scenarios, self.distribution
+        )
         StopPolicy(self.max_iterations, self.time_limit, self.stall_iterations)
 
     def stop_policy(self) -> StopPolicy:
@@ -178,6 +190,9 @@ class TabuSearch:
                 prefer_batch=True,
                 platform=cfg.platform,
                 objective=cfg.objective,
+                scenarios=cfg.scenarios,
+                distribution=cfg.distribution,
+                scenario_seed=cfg.scenario_seed,
             )
         watch = Stopwatch()
 

@@ -121,6 +121,8 @@ def run_cell(cell: ExperimentCell) -> CellResult:
         network=str(params.get("network", DEFAULT_NETWORK)),
         platform=platform,
         cost=_cell_cost(cost_model, outcome),
+        objective=str(params.get("objective", "makespan")),
+        scenarios=int(params.get("scenarios", 0) or 0),
         makespan=float(outcome.makespan),
         normalized=normalized_makespan(effective, float(outcome.makespan)),
         evaluations=outcome.evaluations,

@@ -291,6 +291,9 @@ def _run_tabu(workload: Workload, seed: int, params: dict) -> CellOutcome:
         "network",
         "platform",
         "objective",
+        "scenarios",
+        "distribution",
+        "scenario_seed",
         "seed",
     ),
 )
@@ -309,6 +312,9 @@ def _run_random(workload: Workload, seed: int, params: dict) -> CellOutcome:
         batch_size=params.get("batch_size", 128),
         platform=params.get("platform", DEFAULT_PLATFORM),
         objective=params.get("objective", "makespan"),
+        scenarios=int(params.get("scenarios", 0) or 0),
+        distribution=params.get("distribution", "deterministic"),
+        scenario_seed=int(params.get("scenario_seed", 0) or 0),
     )
     return CellOutcome(
         makespan=res.makespan,

@@ -35,8 +35,14 @@ class CellResult:
 
     ``platform`` / ``cost`` record the machine-catalog scenario and the
     winning schedule's dollar cost under its billing table (0.0 on the
-    free default ``"uniform"`` platform).  Both default, so cache files
-    written before the platform axis existed still load.
+    free default ``"uniform"`` platform).  ``objective`` / ``scenarios``
+    record the risk axis: the scalar the cell optimised and how many
+    Monte-Carlo scenarios backed it (0 = deterministic).  ``makespan``
+    is always the winner's *nominal* makespan — under a scenario
+    objective the optimised risk statistic steered the search, but the
+    recorded number stays comparable across objectives.  All four
+    default, so cache files written before the corresponding axis
+    existed still load.
     """
 
     cell_id: str
@@ -53,6 +59,8 @@ class CellResult:
     network: str = DEFAULT_NETWORK
     platform: str = DEFAULT_PLATFORM
     cost: float = 0.0
+    objective: str = "makespan"
+    scenarios: int = 0
     evaluations: int = 0
     iterations: int = 0
     stopped_by: str = ""
@@ -94,6 +102,8 @@ _CSV_FIELDS = [
     "network",
     "platform",
     "cost",
+    "objective",
+    "scenarios",
     "evaluations",
     "iterations",
     "stopped_by",

@@ -306,6 +306,18 @@ def has_batch_kernel(network: str) -> bool:
     return network.lower() in _BATCH_NETWORKS
 
 
+def batch_kernel_factory(network: str):
+    """The registered batch-kernel factory of *network*, or ``None``.
+
+    For callers that build kernels directly against pre-packed tensors
+    (the scenario tier constructs one kernel per sampled scenario,
+    sharing DAG-structure tables across them); everyone else should go
+    through :func:`make_simulator` with ``batch=True``.
+    """
+    _ensure_builtins()
+    return _BATCH_NETWORKS.get(network.lower())
+
+
 def make_simulator(
     workload: Workload,
     network: str = DEFAULT_NETWORK,

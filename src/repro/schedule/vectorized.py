@@ -105,6 +105,13 @@ class WorkloadPack:
       hold a permanent 0.0;
     * ``pair_row``'s diagonal points at ``tr``'s all-zero padding row,
       so same-machine transfers gather a stored 0.0 with no branch.
+
+    ``like`` shares structure across packs of the *same DAG* with
+    different matrices (the scenario tier builds one pack per sampled
+    scenario): the graph-derived tables (CSR lanes, pair rows, edge
+    arrays, out-edge lanes) are reused by reference from the donor pack
+    and only the value tables (``E``, ``tr``, ``trv_table``) are
+    recomputed — they are what actually differ between scenarios.
     """
 
     __slots__ = (
@@ -125,7 +132,9 @@ class WorkloadPack:
         "_out_tables",
     )
 
-    def __init__(self, workload: Workload):
+    def __init__(
+        self, workload: Workload, like: Optional["WorkloadPack"] = None
+    ):
         self.workload = workload
         graph = workload.graph
         k = self.k = graph.num_tasks
@@ -143,6 +152,28 @@ class WorkloadPack:
         if tr.size:
             tr_pad[:num_rows, :num_items] = tr
         self.tr = tr_pad
+
+        if like is not None:
+            if like.workload.graph is not graph or like.l != l:
+                raise ValueError(
+                    "like= requires a pack of the same DAG and machine "
+                    "count (structure tables are shared by reference)"
+                )
+            self.pair_row = like.pair_row
+            if like.trv_table is not None:
+                self.trv_table = np.ascontiguousarray(tr_pad[self.pair_row])
+            else:
+                self.trv_table = None
+            self.deg = like.deg
+            self.pad_prod = like.pad_prod
+            self.pad_item = like.pad_item
+            self.max_deg = like.max_deg
+            self.edge_prod = like.edge_prod
+            self.edge_cons = like.edge_cons
+            # lazily-built out-edge lanes are structural too: adopt the
+            # donor's if present, else build (and cache) independently
+            self._out_tables = like._out_tables
+            return
 
         # (l, l) lookup table: upper-triangular Tr row of a machine
         # pair; the diagonal points at the all-zero padding row.

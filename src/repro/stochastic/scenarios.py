@@ -1,0 +1,316 @@
+"""Scenario scoring: B schedules × S scenarios through the batch tier.
+
+A risk objective needs the makespan of every candidate schedule under
+every sampled scenario.  The batch kernels of PR 3/5 are the natural
+engine for that: scoring B schedules under scenario ``s`` is one
+``batch_string_makespans`` call against a kernel built from scenario
+``s``'s matrices, so the full ``(S, B)`` matrix is ``S`` kernel sweeps —
+no new walk code, and both network models (``"contention-free"`` and
+``"nic"``) come for free.  Networks without a registered kernel (or
+callers that disable batching) fall back to an ``S × B`` sequential
+scalar loop, bit-identical.
+
+Two classes:
+
+* :class:`ScenarioEvaluator` — owns the per-scenario kernels (one per
+  scenario; DAG-structure tables are shared across them via
+  ``WorkloadPack(w_s, like=base)``, since only the matrices differ) and
+  produces scenario-makespan vectors/matrices;
+* :class:`ScenarioBackend` — the
+  :class:`~repro.schedule.backend.SimulatorBackend`-shaped wrapper the
+  :class:`~repro.optim.evaluation.EvaluationService` installs for
+  scenario objectives: every scalar an engine compares (``makespan``,
+  delta scalars, batch columns) is the *reduced risk statistic*, while
+  ``evaluate`` / ``finish_times`` still report the nominal schedule
+  (result assembly and SE's goodness phase run on nominal durations).
+  The incremental tier is exact but unaccelerated: ``evaluate_delta``
+  re-scores the full string over all scenarios and ignores the cutoff
+  (a risk statistic has no per-position lower bound to prune on).
+
+>>> from repro.optim.objective import resolve_objective
+>>> from repro.schedule.operations import random_valid_string
+>>> from repro.stochastic.distributions import sample_scenarios
+>>> from repro.workloads import small_workload
+>>> w = small_workload(seed=3)
+>>> ev = ScenarioEvaluator(sample_scenarios(w, "uniform:0.3", 16, seed=5))
+>>> s = random_valid_string(w.graph, w.num_machines, 0)
+>>> ev.string_matrix([s]).shape  # (S, B)
+(16, 1)
+>>> p95 = resolve_objective("quantile:0.95")
+>>> p95.reduce(ev.samples_string(s)) >= float(ev.samples_string(s).mean())
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.optim.objective import ScenarioObjective, _ScalarizedState
+from repro.schedule.backend import (
+    DEFAULT_NETWORK,
+    batch_kernel_factory,
+    make_simulator,
+)
+from repro.schedule.encoding import ScheduleString
+from repro.schedule.vectorized import WorkloadPack
+from repro.stochastic.distributions import ScenarioSet
+
+__all__ = ["ScenarioEvaluator", "ScenarioBackend"]
+
+_INF = float("inf")
+
+
+class ScenarioEvaluator:
+    """Scores schedule batches under every scenario of a
+    :class:`~repro.stochastic.distributions.ScenarioSet`.
+
+    Parameters
+    ----------
+    scenario_set:
+        The sampled scenarios (see :func:`~repro.stochastic.
+        distributions.sample_scenarios`).
+    network:
+        Simulator-backend name; scenario walks run under this network
+        model, exactly like deterministic scoring.
+    prefer_batch:
+        When True (default) and the network registered a batch kernel,
+        one kernel per scenario scores whole batches in NumPy sweeps;
+        otherwise an ``S × B`` sequential scalar loop is used
+        (bit-identical, just slower — surfaced by :attr:`is_vectorized`).
+    """
+
+    __slots__ = ("_set", "_network", "_kernels", "_backends", "_vectorized")
+
+    def __init__(
+        self,
+        scenario_set: ScenarioSet,
+        network: str = DEFAULT_NETWORK,
+        prefer_batch: bool = True,
+    ):
+        self._set = scenario_set
+        self._network = network
+        self._kernels: Optional[list] = None
+        self._backends: Optional[list] = None
+        factory = batch_kernel_factory(network) if prefer_batch else None
+        self._vectorized = factory is not None
+        S = scenario_set.scenarios
+        if factory is not None:
+            kernels = []
+            base_pack: Optional[WorkloadPack] = None
+            for s in range(S):
+                w_s = scenario_set.workload_for(s)
+                try:
+                    pack = WorkloadPack(w_s, like=base_pack)
+                    kernel = factory(w_s, pack=pack)
+                except TypeError:
+                    # custom kernel factory without a pack= keyword
+                    pack, kernel = None, factory(w_s)
+                if base_pack is None:
+                    base_pack = pack
+                kernels.append(kernel)
+            self._kernels = kernels
+        else:
+            self._backends = [
+                make_simulator(scenario_set.workload_for(s), network)
+                for s in range(S)
+            ]
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def scenario_set(self) -> ScenarioSet:
+        return self._set
+
+    @property
+    def scenarios(self) -> int:
+        """The scenario count ``S``."""
+        return self._set.scenarios
+
+    @property
+    def network(self) -> str:
+        return self._network
+
+    @property
+    def workload(self):
+        """The *nominal* workload the scenarios perturb."""
+        return self._set.workload
+
+    @property
+    def is_vectorized(self) -> bool:
+        """True when scenario sweeps run the network's batch kernel."""
+        return self._vectorized
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def matrix(
+        self, orders: Any, machines: Any, validate: bool = True
+    ) -> np.ndarray:
+        """The ``(S, B)`` scenario-makespan matrix of a batch.
+
+        Row ``s`` holds every schedule's makespan under scenario ``s``
+        — bit-identical to scoring the batch against a simulator built
+        from that scenario's matrices.  Validation (permutation /
+        precedence checks) runs once, on the first scenario: validity
+        is a property of the strings, not of the matrices.
+        """
+        if self._kernels is not None:
+            rows = []
+            for s, kernel in enumerate(self._kernels):
+                rows.append(
+                    kernel.makespans(
+                        orders, machines, validate=validate and s == 0
+                    )
+                )
+            return np.stack(rows)
+        out = []
+        for backend in self._backends:
+            out.append(
+                [
+                    backend.makespan(list(o), list(m))
+                    for o, m in zip(orders, machines)
+                ]
+            )
+        return np.asarray(out, dtype=float)
+
+    def string_matrix(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> np.ndarray:
+        """:meth:`matrix` over :class:`ScheduleString` objects."""
+        if not strings:
+            return np.empty((self.scenarios, 0))
+        orders = np.array([s.order for s in strings], dtype=np.intp)
+        machines = np.array([s.machines for s in strings], dtype=np.intp)
+        return self.matrix(orders, machines, validate=validate)
+
+    def samples(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> np.ndarray:
+        """One schedule's ``(S,)`` scenario-makespan vector."""
+        return self.matrix([list(order)], [list(machine_of)])[:, 0]
+
+    def samples_string(self, string: ScheduleString) -> np.ndarray:
+        """:meth:`samples` for a :class:`ScheduleString`."""
+        return self.samples(string.order, string.machines)
+
+
+class ScenarioBackend:
+    """A backend whose every scalar is the reduced risk statistic.
+
+    The scenario-objective twin of
+    :class:`~repro.optim.objective.ObjectiveBackend`: built by the
+    :class:`~repro.optim.evaluation.EvaluationService` when a scenario
+    objective is configured, never by engines directly.  Engines
+    compare scalars; here each scalar is ``objective.reduce`` over the
+    schedule's scenario makespans.  ``evaluate`` / ``finish_times`` /
+    the decoded schedules stay *nominal* — reported makespans in
+    result assembly are real nominal makespans, and SE's goodness
+    phase ranks subtasks by nominal finish times.
+    """
+
+    def __init__(
+        self,
+        nominal: Any,
+        evaluator: ScenarioEvaluator,
+        objective: ScenarioObjective,
+    ):
+        self._nominal = nominal
+        self._evaluator = evaluator
+        self._objective = objective
+
+    # ------------------------------------------------------------------
+    # identity / passthrough
+    # ------------------------------------------------------------------
+
+    @property
+    def base(self) -> Any:
+        """The wrapped nominal backend."""
+        return self._nominal
+
+    @property
+    def objective(self) -> ScenarioObjective:
+        return self._objective
+
+    @property
+    def evaluator(self) -> ScenarioEvaluator:
+        return self._evaluator
+
+    @property
+    def workload(self):
+        return self._nominal.workload
+
+    @property
+    def is_vectorized(self) -> bool:
+        return self._evaluator.is_vectorized
+
+    def evaluate(self, string: ScheduleString) -> Any:
+        """The nominal backend's full result (real schedule/makespan)."""
+        return self._nominal.evaluate(string)
+
+    def finish_times(self, string: ScheduleString) -> list[float]:
+        return self._nominal.finish_times(string)
+
+    # ------------------------------------------------------------------
+    # reduced (risk) scoring
+    # ------------------------------------------------------------------
+
+    def makespan(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> float:
+        return self._objective.reduce(
+            self._evaluator.samples(order, machine_of)
+        )
+
+    def string_makespan(self, string: ScheduleString) -> float:
+        return self._objective.reduce(
+            self._evaluator.samples_string(string)
+        )
+
+    def prepare(
+        self, order: Sequence[int], machine_of: Sequence[int]
+    ) -> _ScalarizedState:
+        state = self._nominal.prepare(order, machine_of)
+        return _ScalarizedState(state, self.makespan(order, machine_of))
+
+    def evaluate_delta(
+        self,
+        order: Sequence[int],
+        machine_of: Sequence[int],
+        first_changed: int,
+        state: Any,
+        cutoff: float = _INF,
+        region_end: Optional[int] = None,
+    ) -> float:
+        """The candidate's risk scalar (full scenario re-evaluation).
+
+        A risk statistic over scenarios admits no incremental
+        suffix-only shortcut (every scenario's walk differs), so this
+        scores the whole string and ignores *cutoff* — exact, never a
+        spurious ``inf``, just without branch-and-bound savings.
+        """
+        return self.makespan(order, machine_of)
+
+    def batch_makespans(
+        self, orders: Any, machines: Any, validate: bool = True
+    ) -> np.ndarray:
+        return self._objective.reduce_matrix(
+            self._evaluator.matrix(orders, machines, validate=validate)
+        )
+
+    def batch_string_makespans(
+        self, strings: Sequence[ScheduleString], validate: bool = True
+    ) -> np.ndarray:
+        return self._objective.reduce_matrix(
+            self._evaluator.string_matrix(strings, validate=validate)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScenarioBackend({self._objective.name}, "
+            f"S={self._evaluator.scenarios})"
+        )

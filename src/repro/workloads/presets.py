@@ -55,6 +55,14 @@ class WorkloadSpec:
         the offline case: the job is present from the start.  Purely
         metadata for :func:`build_workload`; the online service reads it
         off the :class:`~repro.online.arrivals.JobStream`.
+    distribution:
+        Duration-noise model of the workload this spec describes
+        (``"deterministic"`` / ``"uniform:<w>"`` / ``"lognormal:<s>"``
+        / ``"empirical:<f1,f2,...>"``, see :mod:`repro.stochastic`).
+        Like ``t_arrival`` this is metadata: :func:`build_workload`
+        still materialises the *nominal* matrices; risk-aware runs pass
+        the spec to their engine config and sample scenarios around
+        that nominal workload.
     """
 
     num_tasks: int = 100
@@ -66,6 +74,7 @@ class WorkloadSpec:
     seed: RandomSource = None
     name: str = ""
     t_arrival: float = 0.0
+    distribution: str = "deterministic"
 
     def size_class(self) -> str:
         """The paper's small/large vocabulary (threshold at 50 subtasks)."""
@@ -82,6 +91,11 @@ def build_workload(spec: WorkloadSpec) -> Workload:
             f"unknown connectivity {spec.connectivity!r}; expected one of "
             f"{sorted(CONNECTIVITY_EDGES_PER_TASK)}"
         )
+    if spec.distribution != "deterministic":
+        # metadata-only, but fail fast on typos instead of at run time
+        from repro.stochastic.distributions import resolve_distribution
+
+        resolve_distribution(spec.distribution)
     rng_graph, rng_exec, rng_tr = spawn_rngs(spec.seed, 3)
 
     graph = layered_dag(

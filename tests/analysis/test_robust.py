@@ -1,0 +1,69 @@
+"""RiskSummary / risk_profile / compare_risk."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import RiskSummary, compare_risk, risk_profile
+from repro.online.metrics import percentile
+from repro.schedule.operations import random_valid_string
+from repro.stochastic import ScenarioEvaluator, sample_scenarios
+from repro.workloads import small_workload
+
+SAMPLES = [10.0, 12.0, 11.0, 30.0]
+
+
+class TestRiskSummary:
+    def test_statistics_match_the_shared_reducers(self):
+        s = RiskSummary.from_samples(SAMPLES)
+        assert s.scenarios == 4
+        assert s.mean == pytest.approx(np.mean(SAMPLES))
+        assert s.p50 == percentile(SAMPLES, 0.5)
+        assert s.p95 == percentile(SAMPLES, 0.95)
+        assert s.worst == 30.0
+        assert s.mean <= s.p95 <= s.worst
+        assert s.cvar95 >= s.p95 - 1e-12
+
+    def test_single_sample_collapses_to_the_value(self):
+        s = RiskSummary.from_samples([7.0])
+        assert (s.mean, s.p50, s.p95, s.cvar95, s.worst) == (7.0,) * 5
+
+    def test_rejects_empty_or_matrix_input(self):
+        with pytest.raises(ValueError):
+            RiskSummary.from_samples([])
+        with pytest.raises(ValueError):
+            RiskSummary.from_samples(np.ones((2, 2)))
+
+    def test_dict_and_lines_cover_every_statistic(self):
+        s = RiskSummary.from_samples(SAMPLES)
+        d = s.to_dict()
+        assert set(d) == {"mean", "p50", "p95", "cvar95", "worst",
+                          "scenarios"}
+        lines = s.format_lines("  ")
+        assert all(line.startswith("  ") for line in lines)
+        assert any("CVaR95" in line for line in lines)
+
+
+class TestProfiles:
+    def _setup(self):
+        w = small_workload(seed=1)
+        ev = ScenarioEvaluator(
+            sample_scenarios(w, "lognormal:0.3", scenarios=16, seed=4)
+        )
+        rng = np.random.default_rng(0)
+        a = random_valid_string(w.graph, w.num_machines, rng)
+        b = random_valid_string(w.graph, w.num_machines, rng)
+        return ev, a, b
+
+    def test_risk_profile_summarises_the_sample_vector(self):
+        ev, a, _ = self._setup()
+        got = risk_profile(ev, a)
+        assert got == RiskSummary.from_samples(ev.samples_string(a))
+
+    def test_compare_risk_is_a_paired_ratio(self):
+        ev, a, b = self._setup()
+        ratios = compare_risk(ev, a, b)
+        pa, pb = risk_profile(ev, a), risk_profile(ev, b)
+        assert ratios["p95"] == pytest.approx(pb.p95 / pa.p95)
+        assert compare_risk(ev, a, a) == pytest.approx(
+            {k: 1.0 for k in ratios}
+        )

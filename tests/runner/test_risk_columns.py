@@ -1,0 +1,85 @@
+"""The runner's objective/scenarios columns and risk-aware cells."""
+
+import csv
+
+from repro.runner import (
+    AlgorithmSpec,
+    CellResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.runner.results import _CSV_FIELDS
+from repro.workloads import WorkloadSpec
+
+RISK = dict(
+    objective="quantile:0.75", scenarios=4, distribution="uniform:0.3"
+)
+
+
+def _spec(**algos) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="risk",
+        algorithms=algos,
+        workloads=[WorkloadSpec(num_tasks=10, num_machines=3, seed=0)],
+        seeds=(0,),
+    )
+
+
+def test_risk_cells_record_objective_and_scenarios(tmp_path):
+    spec = _spec(
+        tabu=AlgorithmSpec.make("tabu", max_iterations=3, **RISK),
+        rnd=AlgorithmSpec.make("random", samples=8, **RISK),
+        heft=AlgorithmSpec.make("heft"),
+    )
+    result = run_experiment(spec, cache_dir=tmp_path)
+    by_algo = {c.algorithm: c for c in result}
+    for name in ("tabu", "rnd"):
+        cell = by_algo[name]
+        assert cell.objective == "quantile:0.75"
+        assert cell.scenarios == 4
+    # deterministic cells keep the defaults
+    assert by_algo["heft"].objective == "makespan"
+    assert by_algo["heft"].scenarios == 0
+
+    # cache round-trip preserves the columns
+    again = run_experiment(spec, cache_dir=tmp_path)
+    for fresh, cached in zip(result, again):
+        assert fresh.objective == cached.objective
+        assert fresh.scenarios == cached.scenarios
+
+
+def test_risk_cells_are_deterministic_across_worker_counts(tmp_path):
+    spec = _spec(se=AlgorithmSpec.make("se", max_iterations=3, **RISK))
+    a = run_experiment(spec)
+    b = run_experiment(spec, workers=2)  # single pending cell runs inline
+    assert a.cells[0].makespan == b.cells[0].makespan
+
+
+def test_csv_includes_the_risk_columns(tmp_path):
+    assert "objective" in _CSV_FIELDS and "scenarios" in _CSV_FIELDS
+    spec = _spec(tabu=AlgorithmSpec.make("tabu", max_iterations=2, **RISK))
+    out = run_experiment(spec).save_csv(tmp_path / "cells.csv")
+    with out.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert rows[0]["objective"] == "quantile:0.75"
+    assert rows[0]["scenarios"] == "4"
+
+
+def test_pre_risk_cell_dicts_still_load():
+    """Cache entries written before the risk axis existed deserialise."""
+    doc = dict(
+        cell_id="c",
+        algorithm="se",
+        workload="w",
+        connectivity="low",
+        heterogeneity="low",
+        ccr=1.0,
+        num_tasks=5,
+        num_machines=2,
+        seed=0,
+        makespan=10.0,
+        normalized=1.0,
+    )
+    cell = CellResult.from_dict(doc)
+    assert cell.objective == "makespan"
+    assert cell.scenarios == 0

@@ -1,0 +1,28 @@
+"""The docs-integrity checker (scripts/check_docs.py) stays healthy."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "check_docs.py"
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_self_test_passes():
+    proc = _run("--self-test")
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_the_repo_docs_are_clean():
+    proc = _run()
+    assert proc.returncode == 0, proc.stderr + proc.stdout
+    assert "docs check: OK" in proc.stdout

@@ -1,0 +1,136 @@
+"""CLI smoke tests for the risk-aware scheduling flags."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+
+RISK = ["--objective", "quantile:0.9", "--scenarios", "8",
+        "--distribution", "uniform:0.3"]
+
+
+class TestRunRiskFlags:
+    @pytest.mark.parametrize("algo", ["se", "sa", "tabu", "ga", "random"])
+    def test_risk_run_prints_nominal_and_profile(self, algo, capsys):
+        rc = main(
+            ["run", "--algo", algo, "--preset", "small", "--seed", "1",
+             "--iterations", "5", *RISK]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nominal makespan" in out
+        assert "quantile:0.9 over 8 x uniform:0.3 scenarios" in out
+        assert "p95" in out and "CVaR95" in out  # the risk profile block
+
+    def test_saa_run_prints_feasibility_verdict(self, capsys):
+        rc = main(
+            ["run", "--algo", "tabu", "--preset", "small", "--seed", "1",
+             "--iterations", "5", "--objective", "saa:5000:0.1",
+             "--scenarios", "8", "--distribution", "lognormal:0.2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chance constraint" in out
+        assert "satisfied" in out or "VIOLATED" in out
+
+    def test_risk_flags_on_deterministic_algo_rejected(self):
+        with pytest.raises(SystemExit, match="deterministic"):
+            main(["run", "--algo", "heft", "--preset", "small", *RISK])
+
+    def test_scenario_objective_without_scenarios_rejected(self):
+        with pytest.raises(SystemExit, match="scenarios"):
+            main(["run", "--algo", "se", "--preset", "small",
+                  "--objective", "mean"])
+
+    def test_scenarios_without_scenario_objective_rejected(self):
+        with pytest.raises(SystemExit, match="no effect"):
+            main(["run", "--algo", "se", "--preset", "small",
+                  "--scenarios", "8"])
+
+    def test_bad_objective_spec_rejected(self):
+        with pytest.raises(SystemExit, match="objective"):
+            main(["run", "--algo", "se", "--preset", "small",
+                  "--objective", "percentile:0.9", "--scenarios", "4"])
+
+    def test_bad_distribution_spec_rejected(self):
+        with pytest.raises(SystemExit, match="distribution"):
+            main(["run", "--algo", "se", "--preset", "small",
+                  "--objective", "mean", "--scenarios", "4",
+                  "--distribution", "gaussian:0.3"])
+
+    def test_deterministic_run_prints_no_risk_block(self, capsys):
+        main(["run", "--algo", "tabu", "--preset", "small", "--seed", "1",
+              "--iterations", "3"])
+        out = capsys.readouterr().out
+        assert "nominal makespan" not in out
+        assert "scenarios" not in out
+
+
+class TestAlgorithmsListing:
+    def test_lists_objective_grammar(self, capsys):
+        main(["algorithms"])
+        out = capsys.readouterr().out
+        assert "objectives (--objective" in out
+        for form in ("makespan", "quantile:<q>", "cvar:<q>", "saa:<T>:<eps>"):
+            assert form in out
+
+    def test_lists_distribution_catalog(self, capsys):
+        main(["algorithms"])
+        out = capsys.readouterr().out
+        assert "distributions (--distribution" in out
+        for form in ("deterministic", "uniform:<width>",
+                     "lognormal:<sigma>", "empirical:<f1,f2,...>"):
+            assert form in out
+
+
+class TestSweepRiskFlags:
+    def test_risk_sweep_records_the_objective_column(self, tmp_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--name", "risk",
+                "--algorithms", "tabu,random",
+                "--tasks", "10",
+                "--machines", "2",
+                "--connectivities", "low",
+                "--heterogeneities", "low",
+                "--ccrs", "0.5",
+                "--iterations", "3",
+                "--quiet",
+                "--out", str(tmp_path),
+                *RISK,
+            ]
+        )
+        assert rc == 0
+        doc = json.loads((tmp_path / "risk.json").read_text())
+        assert {c["objective"] for c in doc["cells"]} == {"quantile:0.9"}
+        assert {c["scenarios"] for c in doc["cells"]} == {8}
+        rows = list(csv.DictReader(open(tmp_path / "risk.csv")))
+        assert all(r["objective"] == "quantile:0.9" for r in rows)
+
+    def test_plain_sweep_keeps_default_columns(self, tmp_path):
+        rc = main(
+            [
+                "sweep",
+                "--name", "plain",
+                "--algorithms", "heft",
+                "--tasks", "10",
+                "--machines", "2",
+                "--connectivities", "low",
+                "--heterogeneities", "low",
+                "--ccrs", "0.5",
+                "--quiet",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads((tmp_path / "plain.json").read_text())
+        assert {c["objective"] for c in doc["cells"]} == {"makespan"}
+        assert {c["scenarios"] for c in doc["cells"]} == {0}
+
+    def test_risk_sweep_rejects_deterministic_algos(self):
+        with pytest.raises(SystemExit, match="drop"):
+            main(["sweep", "--name", "x", "--algorithms", "heft,tabu",
+                  "--tasks", "10", "--machines", "2", *RISK])
