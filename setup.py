@@ -33,6 +33,11 @@ setup(
             "hypothesis>=6",
             "ruff>=0.4",
         ],
+        # the compiled kernel tier (repro.schedule.jit) — optional:
+        # without it the NumPy tier is auto-selected, bit-identically
+        "jit": [
+            "numba>=0.59",
+        ],
     },
     entry_points={
         "console_scripts": [

@@ -381,14 +381,15 @@ def _algorithms_listing() -> str:
 
 
 def _batch_mode(network: str) -> str:
-    """Human-readable batch-evaluation mode of a network backend."""
-    from repro.schedule.backend import has_batch_kernel
+    """Human-readable batch-evaluation mode (active kernel tier)."""
+    from repro.schedule.backend import kernel_tier
 
-    return (
-        "vectorized kernel"
-        if has_batch_kernel(network)
-        else "sequential scalar fallback"
-    )
+    tier = kernel_tier(network)
+    if tier == "jit":
+        return "jit kernel (numba-compiled)"
+    if tier == "vectorized":
+        return "vectorized kernel"
+    return "sequential scalar fallback"
 
 
 def _platforms_listing() -> str:

@@ -256,6 +256,20 @@ class EvaluationService:
         """True when batch calls run a genuinely vectorized kernel."""
         return bool(getattr(self._backend, "is_vectorized", False))
 
+    @property
+    def kernel_tier(self) -> str:
+        """The active batch-kernel tier: ``jit``/``vectorized``/``sequential``.
+
+        ``jit`` means batch calls run the compiled (numba) kernels of
+        :mod:`repro.schedule.jit`; ``vectorized`` the NumPy kernels;
+        ``sequential`` the scalar fallback loop (no kernel registered,
+        ``prefer_batch=False``, or a busy-state backend).
+        """
+        tier = getattr(self._backend, "kernel_tier", None)
+        if tier is not None:
+            return str(tier)
+        return "vectorized" if self.is_vectorized else "sequential"
+
     # ------------------------------------------------------------------
     # cost accounting
     # ------------------------------------------------------------------

@@ -467,6 +467,13 @@ class ObjectiveBackend:
     def is_vectorized(self) -> bool:
         return bool(getattr(self._inner, "is_vectorized", False))
 
+    @property
+    def kernel_tier(self) -> str:
+        tier = getattr(self._inner, "kernel_tier", None)
+        if tier is not None:
+            return str(tier)
+        return "vectorized" if self.is_vectorized else "sequential"
+
     def finish_times(self, string) -> list[float]:
         return self._inner.finish_times(string)
 

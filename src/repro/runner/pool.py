@@ -90,7 +90,17 @@ def _cell_cost(cost_model, outcome) -> float:
 
 
 def run_cell(cell: ExperimentCell) -> CellResult:
-    """Execute one cell (this is the function worker processes run)."""
+    """Execute one cell (this is the function worker processes run).
+
+    The workload is rebuilt per cell (specs must stay picklable), but
+    the expensive part — deriving the batch kernels'
+    :class:`~repro.schedule.vectorized.WorkloadPack` tensors — is not:
+    every kernel construction resolves through the per-process
+    fingerprint-keyed pack cache
+    (:func:`~repro.schedule.vectorized.get_workload_pack`), so a sweep
+    with many cells over few workloads packs each workload once per
+    worker process instead of once per cell.
+    """
     workload = build_workload(cell.workload)
     fn = resolve_algorithm(cell.algo.kind)
     params = cell.algo.params_dict()

@@ -127,6 +127,9 @@ _NETWORKS: Dict[str, BackendFactory] = {DEFAULT_NETWORK: Simulator}
 #: Batch-kernel factories keyed by network name (see ``vectorized.py``).
 _BATCH_NETWORKS: Dict[str, Callable[[Workload], Any]] = {}
 
+#: Compiled-kernel factories keyed by network name (see ``jit.py``).
+_JIT_NETWORKS: Dict[str, Callable[[Workload], Any]] = {}
+
 
 def register_network(name: str):
     """Decorator registering a backend factory under *name* (unique)."""
@@ -159,6 +162,28 @@ def register_batch_network(name: str):
                 f"batch kernel for network {key!r} already registered"
             )
         _BATCH_NETWORKS[key] = factory
+        return factory
+
+    return deco
+
+
+def register_jit_network(name: str):
+    """Decorator registering a *compiled* (JIT) kernel factory.
+
+    A JIT kernel is a drop-in for the network's NumPy batch kernel
+    (same batch API, bit-identical results) that additionally reports
+    ``kernel_tier == "jit"``.  Selection order is jit > vectorized >
+    sequential (see :func:`kernel_tier`); a network registering only a
+    NumPy kernel keeps working exactly as before.
+    """
+
+    def deco(factory):
+        key = name.lower()
+        if key in _JIT_NETWORKS:
+            raise ValueError(
+                f"jit kernel for network {key!r} already registered"
+            )
+        _JIT_NETWORKS[key] = factory
         return factory
 
     return deco
@@ -283,6 +308,10 @@ def _ensure_builtins() -> None:
         import repro.schedule.vectorized  # noqa: F401
     if NIC_NETWORK not in _BATCH_NETWORKS:
         import repro.schedule.vectorized_contention  # noqa: F401
+    if DEFAULT_NETWORK not in _JIT_NETWORKS:
+        # always importable: the module keeps a plain-Python fallback
+        # and only *selects* itself when numba (or an override) says so
+        import repro.schedule.jit  # noqa: F401
 
 
 def available_networks() -> list[str]:
@@ -306,16 +335,51 @@ def has_batch_kernel(network: str) -> bool:
     return network.lower() in _BATCH_NETWORKS
 
 
+def kernel_tier(network: str) -> str:
+    """The batch tier ``make_simulator(..., batch=True)`` selects now.
+
+    ``"jit"`` when the network registered a compiled kernel and the
+    compiled tier is selected (numba importable, or ``REPRO_KERNEL=jit``
+    forcing it), ``"vectorized"`` for a NumPy kernel, ``"sequential"``
+    for networks with neither.  Backends constructed with initial
+    machine state always run ``"sequential"`` regardless of this answer
+    (the kernels pack idle machines).  Surfaced by ``repro algorithms``
+    and ``repro run --verbose`` so the active tier is visible, not
+    guessed.
+
+    Raises
+    ------
+    ValueError
+        If ``REPRO_KERNEL`` is set to an unknown mode, or demands
+        ``jit`` on an installation without numba.
+    """
+    _ensure_builtins()
+    from repro.schedule import jit as jit_mod
+
+    key = network.lower()
+    if key in _JIT_NETWORKS and jit_mod.jit_selected():
+        return "jit"
+    if key in _BATCH_NETWORKS:
+        return "vectorized"
+    return "sequential"
+
+
 def batch_kernel_factory(network: str):
-    """The registered batch-kernel factory of *network*, or ``None``.
+    """The batch-kernel factory of *network*'s active tier, or ``None``.
 
     For callers that build kernels directly against pre-packed tensors
     (the scenario tier constructs one kernel per sampled scenario,
     sharing DAG-structure tables across them); everyone else should go
-    through :func:`make_simulator` with ``batch=True``.
+    through :func:`make_simulator` with ``batch=True``.  Honors the
+    same jit > vectorized selection (and ``REPRO_KERNEL`` override) as
+    :func:`make_simulator`, so every batch-scoring path rides the
+    compiled tier when it is available.
     """
     _ensure_builtins()
-    return _BATCH_NETWORKS.get(network.lower())
+    key = network.lower()
+    if kernel_tier(key) == "jit":
+        return _JIT_NETWORKS[key]
+    return _BATCH_NETWORKS.get(key)
 
 
 def make_simulator(
@@ -331,12 +395,15 @@ def make_simulator(
     With ``batch=True`` the scalar backend is wrapped in a
     :class:`~repro.schedule.vectorized.BatchBackend` that additionally
     offers ``batch_makespans(orders, machines)`` /
-    ``batch_string_makespans(strings)``: the network's registered NumPy
-    kernel (:class:`~repro.schedule.vectorized.BatchSimulator` for
-    ``"contention-free"``,
+    ``batch_string_makespans(strings)``: the network's best registered
+    kernel tier — compiled :mod:`~repro.schedule.jit` kernels when
+    numba imports (override with ``REPRO_KERNEL=numpy|jit``), else the
+    NumPy kernel (:class:`~repro.schedule.vectorized.BatchSimulator`
+    for ``"contention-free"``,
     :class:`~repro.schedule.vectorized_contention.
-    ContentionBatchSimulator` for ``"nic"``), or a sequential scalar
-    fallback for networks without one (see :func:`has_batch_kernel`).
+    ContentionBatchSimulator` for ``"nic"``), else a sequential scalar
+    fallback for networks without one (see :func:`kernel_tier` /
+    :func:`has_batch_kernel`).  All tiers are bit-identical.
     Scalar-tier methods are forwarded without overhead either way, so a
     batch-wrapped backend is a drop-in :class:`SimulatorBackend`.
 
@@ -402,7 +469,7 @@ def make_simulator(
         return scalar
     from repro.schedule.vectorized import BatchBackend, SequentialBatchKernel
 
-    kernel_factory = _BATCH_NETWORKS.get(key)
+    kernel_factory = batch_kernel_factory(key)
     if kernel_factory is None or kwargs:
         kernel = SequentialBatchKernel(scalar)
     else:

@@ -55,6 +55,10 @@ True
 
 from __future__ import annotations
 
+import hashlib
+import os
+import threading
+from collections import OrderedDict
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -294,6 +298,110 @@ class WorkloadPack:
                 )
 
 
+# ----------------------------------------------------------------------
+# the per-process WorkloadPack cache
+# ----------------------------------------------------------------------
+#
+# Packing is a Python-loop pass over the DAG plus an O(l^2) pair-row
+# build — cheap once, but the experiment runner used to pay it for
+# *every cell*: each `run_cell` rebuilds the Workload from its spec and
+# every kernel construction re-derived the same tensors.  The cache
+# below memoises packs per process, keyed by a content fingerprint of
+# exactly the inputs the pack is derived from (dimensions, E, Tr, edge
+# list), so a multi-cell sweep packs each distinct workload once per
+# worker process and platform-scaled matrices (different E bytes) get
+# their own entry.  Packs are immutable after construction (kernels
+# keep their scratch per-instance), so sharing cannot change results.
+
+#: Environment kill-switch: ``REPRO_PACK_CACHE=0`` disables reuse.
+PACK_CACHE_ENV_VAR = "REPRO_PACK_CACHE"
+
+#: Upper bound on cached packs per process (LRU eviction beyond it).
+PACK_CACHE_CAPACITY = 32
+
+_pack_cache: "OrderedDict[str, WorkloadPack]" = OrderedDict()
+_pack_cache_lock = threading.Lock()
+_pack_stats = {"hits": 0, "misses": 0}
+
+
+def workload_fingerprint(workload: Workload) -> str:
+    """Content fingerprint of everything a :class:`WorkloadPack` reads.
+
+    Two workload objects with equal dimensions, matrices and edge lists
+    fingerprint identically even when built independently (the runner's
+    worker processes rebuild workloads from declarative specs), which
+    is what makes cross-cell pack reuse possible at all.
+    """
+    graph = workload.graph
+    h = hashlib.blake2b(digest_size=16)
+    h.update(
+        np.array(
+            [workload.num_tasks, workload.num_machines, graph.num_data_items],
+            dtype=np.int64,
+        ).tobytes()
+    )
+    h.update(np.ascontiguousarray(workload.exec_times.values).tobytes())
+    h.update(np.ascontiguousarray(workload.transfer_times.values).tobytes())
+    edges = np.array(
+        [(d.producer, d.consumer, d.index) for d in graph.data_items],
+        dtype=np.int64,
+    )
+    h.update(edges.tobytes())
+    return h.hexdigest()
+
+
+def pack_cache_enabled() -> bool:
+    """Whether pack reuse is on (default; ``REPRO_PACK_CACHE=0`` off)."""
+    return os.environ.get(PACK_CACHE_ENV_VAR, "").strip() != "0"
+
+
+def get_workload_pack(workload: Workload) -> WorkloadPack:
+    """The (per-process, LRU-bounded) shared pack of *workload*.
+
+    Bit-for-bit equivalent to ``WorkloadPack(workload)`` — packing is a
+    deterministic function of the fingerprinted inputs — but cells,
+    services and kernels evaluating the same workload in one process
+    share a single set of tensors instead of re-deriving them.
+    """
+    if not pack_cache_enabled():
+        return WorkloadPack(workload)
+    key = workload_fingerprint(workload)
+    with _pack_cache_lock:
+        pack = _pack_cache.get(key)
+        if pack is not None:
+            _pack_cache.move_to_end(key)
+            _pack_stats["hits"] += 1
+            return pack
+    # build outside the lock: packing is the slow part, and a duplicate
+    # build on a race is harmless (last writer wins, both packs valid)
+    pack = WorkloadPack(workload)
+    with _pack_cache_lock:
+        _pack_stats["misses"] += 1
+        _pack_cache[key] = pack
+        _pack_cache.move_to_end(key)
+        while len(_pack_cache) > PACK_CACHE_CAPACITY:
+            _pack_cache.popitem(last=False)
+    return pack
+
+
+def pack_cache_stats() -> dict:
+    """``{"hits": ..., "misses": ..., "size": ...}`` of this process."""
+    with _pack_cache_lock:
+        return {
+            "hits": _pack_stats["hits"],
+            "misses": _pack_stats["misses"],
+            "size": len(_pack_cache),
+        }
+
+
+def clear_pack_cache() -> None:
+    """Drop every cached pack and zero the counters (tests)."""
+    with _pack_cache_lock:
+        _pack_cache.clear()
+        _pack_stats["hits"] = 0
+        _pack_stats["misses"] = 0
+
+
 class BatchKernel:
     """Shared batch-API driver of the vectorized kernels.
 
@@ -310,6 +418,11 @@ class BatchKernel:
 
     #: True for a real vectorized kernel; the scalar fallback says False.
     is_vectorized = True
+
+    #: The tier name surfaced by ``repro algorithms`` / ``repro run
+    #: --verbose``: "vectorized" here, "jit" for the compiled subclasses
+    #: in :mod:`repro.schedule.jit`, "sequential" for the scalar loop.
+    kernel_tier = "vectorized"
 
     #: Rows scored per internal chunk: large enough to amortize NumPy
     #: dispatch overhead, small enough that the precomputed walk tables
@@ -344,9 +457,13 @@ class BatchKernel:
         them here, once, keeps the two kernels' views of the pack from
         drifting.  Returns the (possibly freshly built) pack so
         subclasses can pull their extra tables from it.
+
+        Without an explicit *pack* the per-process cache supplies one
+        (see :func:`get_workload_pack`), so every kernel built for the
+        same workload content in a process shares a single tensor set.
         """
         if pack is None:
-            pack = WorkloadPack(workload)
+            pack = get_workload_pack(workload)
         self._workload = workload
         self._pack = pack
         self._k = pack.k
@@ -644,6 +761,8 @@ class SequentialBatchKernel:
 
     is_vectorized = False
 
+    kernel_tier = "sequential"
+
     __slots__ = ("_backend",)
 
     def __init__(self, backend: Any):
@@ -759,6 +878,18 @@ class BatchBackend:
         return bool(self._kernel.is_vectorized)
 
     @property
+    def kernel_tier(self) -> str:
+        """The wrapped kernel's tier: ``"jit"``, ``"vectorized"`` or
+        ``"sequential"`` (custom kernels without the attribute report
+        by their ``is_vectorized`` flag).  Like :attr:`is_vectorized`,
+        a fact about the kernel, surfaced so the CLI can report the
+        tier a run actually executes on."""
+        tier = getattr(self._kernel, "kernel_tier", None)
+        if tier is not None:
+            return str(tier)
+        return "vectorized" if self.is_vectorized else "sequential"
+
+    @property
     def scalar_backend(self) -> Any:
         """The wrapped scalar backend (for tests and introspection)."""
         return self._scalar
@@ -819,7 +950,7 @@ class BatchBackend:
         return BatchScores(spans, cm.batch_costs(machines))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        mode = "vectorized" if self.is_vectorized else "sequential"
         return (
-            f"BatchBackend({type(self._scalar).__name__}, {mode} batch)"
+            f"BatchBackend({type(self._scalar).__name__}, "
+            f"{self.kernel_tier} batch)"
         )

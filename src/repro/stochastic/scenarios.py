@@ -144,6 +144,16 @@ class ScenarioEvaluator:
         """True when scenario sweeps run the network's batch kernel."""
         return self._vectorized
 
+    @property
+    def kernel_tier(self) -> str:
+        """The tier of the per-scenario kernels (``jit``/``vectorized``)
+        or ``sequential`` when scoring loops the scalar backends."""
+        if self._kernels:
+            tier = getattr(self._kernels[0], "kernel_tier", None)
+            if tier is not None:
+                return str(tier)
+        return "vectorized" if self._vectorized else "sequential"
+
     # ------------------------------------------------------------------
     # scoring
     # ------------------------------------------------------------------
@@ -247,6 +257,10 @@ class ScenarioBackend:
     @property
     def is_vectorized(self) -> bool:
         return self._evaluator.is_vectorized
+
+    @property
+    def kernel_tier(self) -> str:
+        return self._evaluator.kernel_tier
 
     def evaluate(self, string: ScheduleString) -> Any:
         """The nominal backend's full result (real schedule/makespan)."""

@@ -234,9 +234,11 @@ class TestAlgorithmsCommand:
         assert "unknown algorithms" in msg
         assert "tabu" in msg and "neighborhood_size" in msg
 
-    def test_lists_network_batch_modes(self, capsys):
+    def test_lists_network_batch_modes(self, capsys, monkeypatch):
         # both built-in networks ship vectorized batch kernels; the
-        # listing is what makes a sequential fallback visible
+        # listing is what makes a sequential fallback visible.  Pin the
+        # NumPy tier so the assertion holds on numba installs too.
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
         main(["algorithms"])
         out = capsys.readouterr().out
         assert "network models" in out
@@ -254,13 +256,38 @@ class TestAlgorithmsCommand:
 
         backend_mod._ensure_builtins()
         monkeypatch.delitem(backend_mod._BATCH_NETWORKS, "nic")
+        monkeypatch.delitem(backend_mod._JIT_NETWORKS, "nic", raising=False)
         main(["algorithms"])
         out = capsys.readouterr().out
         assert "sequential scalar fallback" in out
 
+    def test_lists_jit_tier_when_numba_selected(self, capsys, monkeypatch):
+        # numba-present path without requiring numba: selection reads
+        # the module flag, and `algorithms` only *lists* tiers (never
+        # compiles), so forcing the flag is an honest probe
+        from repro.schedule import jit as jit_mod
+
+        monkeypatch.setattr(jit_mod, "_NUMBA_OK", True)
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        main(["algorithms"])
+        out = capsys.readouterr().out
+        assert out.count("jit kernel (numba-compiled)") == 2
+        assert "batch evaluation: vectorized kernel" not in out
+
+    def test_lists_numpy_tier_when_numba_absent(self, capsys, monkeypatch):
+        from repro.schedule import jit as jit_mod
+
+        monkeypatch.setattr(jit_mod, "_NUMBA_OK", False)
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        main(["algorithms"])
+        out = capsys.readouterr().out
+        assert out.count("vectorized kernel") == 2
+        assert "jit kernel" not in out
+
 
 class TestRunVerbose:
-    def test_verbose_reports_vectorized_nic(self, capsys):
+    def test_verbose_reports_vectorized_nic(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
         rc = main(
             ["run", "--algo", "heft", "--preset", "small", "--seed", "1",
              "--network", "nic", "--verbose"]
@@ -269,11 +296,30 @@ class TestRunVerbose:
         out = capsys.readouterr().out
         assert "network 'nic': batch evaluation via vectorized kernel" in out
 
+    def test_verbose_reports_jit_tier(self, capsys, monkeypatch):
+        # heft never batch-scores, so the run completes regardless of
+        # whether the forced flag is backed by a real numba install
+        from repro.schedule import jit as jit_mod
+
+        monkeypatch.setattr(jit_mod, "_NUMBA_OK", True)
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        rc = main(
+            ["run", "--algo", "heft", "--preset", "small", "--seed", "1",
+             "--network", "nic", "--verbose"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert (
+            "network 'nic': batch evaluation via jit kernel "
+            "(numba-compiled)" in out
+        )
+
     def test_verbose_reports_sequential_fallback(self, capsys, monkeypatch):
         from repro.schedule import backend as backend_mod
 
         backend_mod._ensure_builtins()
         monkeypatch.delitem(backend_mod._BATCH_NETWORKS, "nic")
+        monkeypatch.delitem(backend_mod._JIT_NETWORKS, "nic", raising=False)
         rc = main(
             ["run", "--algo", "heft", "--preset", "small", "--seed", "1",
              "--network", "nic", "--verbose"]

@@ -234,3 +234,32 @@ class TestPerfCheckCli:
         assert ("MICRO-DELTA", "speedup") in keys
         assert ("MICRO-ONLINE", "mean_flow") in keys
         assert ("MICRO-PLATFORM", "speedup") in keys
+
+    def test_committed_jit_baseline_is_ratio_only(self):
+        """The JIT-tier baseline lives in its own file (gated only on
+        the numba CI leg — folding it into BENCH_micro.json would make
+        the no-numba perf job fail on "missing" jit metrics) and must
+        pin only dimensionless ratios: speedups and per-core parallel
+        efficiency, both machine-portable by construction."""
+        from pathlib import Path
+
+        baseline = (
+            Path(__file__).parent.parent
+            / "benchmarks"
+            / "baseline"
+            / "BENCH_micro_jit.json"
+        )
+        records = perf.load_records(baseline)
+        assert records, "committed jit baseline must not be empty"
+        assert {r.unit for r in records} == {"x"}
+        keys = {r.key for r in records}
+        assert ("MICRO-JIT", "speedup") in keys
+        assert ("MICRO-JIT-NIC", "speedup") in keys
+        assert ("MICRO-JIT-SCALE", "efficiency_4t") in keys
+        # the acceptance bar: a >=10x target derated ~10% (PR-3
+        # convention), never below what ±30% tolerance could let slip
+        # under the NumPy tier's own ~3x
+        by_key = {r.key: r.value for r in records}
+        assert by_key[("MICRO-JIT", "speedup")] >= 7.0
+        assert by_key[("MICRO-JIT-NIC", "speedup")] >= 7.0
+        assert by_key[("MICRO-JIT-SCALE", "efficiency_4t")] >= 0.7
