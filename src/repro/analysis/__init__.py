@@ -1,5 +1,11 @@
 """Experiment harness: traces, comparisons, statistics, plotting, reports."""
 
+from repro.analysis.anytime import (
+    anytime_auc,
+    anytime_table,
+    best_at,
+    first_time_to,
+)
 from repro.analysis.ascii_plot import Series, line_plot, sparkline
 from repro.analysis.grid import (
     Algorithm,
@@ -59,6 +65,10 @@ from repro.analysis.online import flow_table, summary_lines  # noqa: E402
 
 __all__ = [
     "COMPARISON_SE_BIAS",
+    "anytime_auc",
+    "anytime_table",
+    "best_at",
+    "first_time_to",
     "Series",
     "line_plot",
     "sparkline",

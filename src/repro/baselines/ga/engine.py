@@ -47,7 +47,13 @@ from repro.baselines.ga.operators import (
     scheduling_mutation,
 )
 from repro.model.workload import Workload
-from repro.optim import EvaluationService, Observer, SearchLoop, StepOutcome
+from repro.optim import (
+    EvaluationService,
+    IncumbentSource,
+    Observer,
+    SearchLoop,
+    StepOutcome,
+)
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.simulator import Schedule
 from repro.utils.rng import as_rng
@@ -113,6 +119,7 @@ class GeneticAlgorithm:
         workload: Workload,
         initial: Optional[Sequence[Chromosome]] = None,
         observers: Sequence[Observer] = (),
+        exchange: Optional[IncumbentSource] = None,
     ) -> GAResult:
         """Optimise *workload*; returns the best chromosome found.
 
@@ -128,6 +135,13 @@ class GeneticAlgorithm:
             string)`` — the same protocol as the SE engine's observers;
             the string is the generation's best chromosome decoded to a
             :class:`ScheduleString`.
+        exchange:
+            Optional portfolio incumbent source (see
+            :mod:`repro.optim.exchange`).  A delivered incumbent is
+            decoded into a chromosome, evaluated (one counted call) and
+            immigrated over the worst member of the current population
+            before breeding; ``None`` leaves the run bit-identical to a
+            solo run.
         """
         cfg = self.config
         rng = as_rng(cfg.seed)
@@ -221,6 +235,25 @@ class GeneticAlgorithm:
 
         def step(generation: int) -> StepOutcome[Chromosome]:
             nonlocal population
+            if exchange is not None:
+                inc = exchange.incoming(
+                    generation, float(loop.tracker.best_cost)
+                )
+                if inc is not None:
+                    # elite immigration: the incumbent joins the gene
+                    # pool over the worst member, so elitism and the
+                    # roulette wheel see it like any native chromosome
+                    imm = Chromosome(
+                        matching=list(inc.machines),
+                        scheduling=list(inc.order),
+                    )
+                    imm.cost = service.makespan(imm.scheduling, imm.matching)
+                    worst = max(
+                        range(len(population)),
+                        key=lambda i: population[i].cost,
+                    )
+                    if imm.cost < population[worst].cost:
+                        population[worst] = imm
             nxt: list[Chromosome] = []
             nxt_parents: list[Optional[Chromosome]] = []
             if cfg.elite_count:
@@ -295,6 +328,9 @@ def run_ga(
     workload: Workload,
     config: Optional[GAConfig] = None,
     observers: Sequence[Observer] = (),
+    exchange: Optional[IncumbentSource] = None,
 ) -> GAResult:
     """Functional convenience wrapper around :class:`GeneticAlgorithm`."""
-    return GeneticAlgorithm(config).run(workload, observers=observers)
+    return GeneticAlgorithm(config).run(
+        workload, observers=observers, exchange=exchange
+    )

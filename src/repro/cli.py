@@ -41,7 +41,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.analysis.ascii_plot import Series, line_plot
@@ -368,6 +370,62 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_race(args: argparse.Namespace) -> int:
+    _check_platform("race", args.platform)
+    from repro.analysis import anytime_table
+    from repro.portfolio import RaceConfig, run_race
+
+    w = _load_workload(args.preset, args.seed)
+    # --deadline 0 disables the wall clock (pure iteration-capped race)
+    deadline = args.deadline if args.deadline and args.deadline > 0 else None
+    if args.sync_every is not None:
+        deadline = None  # lockstep races are iteration-capped only
+    try:
+        cfg = RaceConfig(
+            engines=args.engines,
+            islands=args.islands,
+            deadline=deadline,
+            max_iterations=args.iterations,
+            sync_every=args.sync_every,
+            exchange_interval=args.exchange_interval,
+            mode=args.mode,
+            network=args.network,
+            platform=args.platform,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"race: {exc}")
+    budget = (
+        f"{cfg.deadline:.1f}s deadline"
+        if cfg.deadline is not None
+        else f"{cfg.max_iterations} iterations"
+    )
+    print(
+        f"racing {cfg.islands} islands ({','.join(cfg.engines)}) on "
+        f"{args.preset!r} under a {budget} per island "
+        f"[{'lockstep' if cfg.sync_every else cfg.mode} mode] ..."
+    )
+    res = run_race(w, cfg)
+    if args.verbose:
+        for o in res.islands:
+            print(
+                f"island {o.island} ({o.kind}, seed {o.seed}): "
+                f"kernel tier {o.kernel_tier}, started +{o.start_offset:.2f}s"
+            )
+    print(anytime_table(res))
+    if args.verbose:
+        curve = res.combined_anytime()
+        print("combined anytime curve (s -> best):")
+        for t, cost in curve:
+            print(f"  {t:8.3f}  {cost:.2f}")
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(res.to_dict(), indent=2))
+        print(f"wrote {path}")
+    return 0
+
+
 def _algorithms_listing() -> str:
     """Every registry algorithm with its accepted parameter names."""
     from repro.runner import algorithm_parameters, available_algorithms
@@ -595,6 +653,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             return AlgorithmSpec.make(
                 "random", samples=args.iterations * 10, **network
             )
+        if kind == "portfolio":
+            # iteration-capped sweeps stay worker-count invariant, so
+            # the race runs in deterministic lockstep; only an explicit
+            # --budget opts into the wall-clock deadline race
+            params = {
+                "deadline": None,
+                "max_iterations": args.iterations,
+                "sync_every": 5,
+            }
+            if args.budget is not None:
+                params = {"deadline": args.budget}
+            return AlgorithmSpec.make("portfolio", **params, **network)
         return AlgorithmSpec.make(kind, **network)
 
     suite = WorkloadSuite(
@@ -1004,6 +1074,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine catalog every engine races on",
     )
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "race",
+        help="anytime portfolio: race every engine in parallel, share "
+        "the incumbent, best schedule at the deadline",
+    )
+    p.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=2.0,
+        help="wall-clock budget in seconds per island (0 disables; "
+        "ignored under --sync-every)",
+    )
+    p.add_argument(
+        "--engines",
+        default="se,ga,sa,tabu",
+        help="comma list of engine kinds to race (se, ga, sa, tabu)",
+    )
+    p.add_argument(
+        "--islands",
+        type=int,
+        default=0,
+        help="island count; 0 = one per engine, extra islands are "
+        "seeded restarts, 1 disables the exchange (solo golden run)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="per-island iteration cap in each engine's own unit "
+        "(required with --sync-every)",
+    )
+    p.add_argument(
+        "--sync-every",
+        type=int,
+        default=None,
+        help="deterministic lockstep exchange every N own-iterations "
+        "(threads; reproducible bit for bit at a fixed seed)",
+    )
+    p.add_argument(
+        "--exchange-interval",
+        type=int,
+        default=None,
+        help="incumbent poll stride for all islands (default: "
+        "per-engine, see repro.portfolio.islands)",
+    )
+    p.add_argument(
+        "--mode",
+        default="process",
+        choices=["process", "thread"],
+        help="island execution: one process per island (default) or "
+        "GIL-sharing threads",
+    )
+    p.add_argument(
+        "--network",
+        default="contention-free",
+        choices=["contention-free", "nic"],
+        help="simulator backend every island optimises against",
+    )
+    p.add_argument(
+        "--platform",
+        default="uniform",
+        help="machine catalog every island is costed against",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        help="write the race summary (islands, anytime curves) as JSON",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print each island's kernel tier, start offset and "
+        "the combined anytime curve",
+    )
+    p.set_defaults(func=_cmd_race)
 
     p = sub.add_parser(
         "algorithms",

@@ -35,7 +35,7 @@ from repro.core.initial import initial_solution
 from repro.core.observers import Observer
 from repro.core.selection import bias_for_target_fraction, select_subtasks
 from repro.model.workload import Workload
-from repro.optim import EvaluationService, SearchLoop, StepOutcome
+from repro.optim import EvaluationService, IncumbentSource, SearchLoop, StepOutcome
 from repro.schedule.encoding import ScheduleString
 from repro.schedule.simulator import Schedule
 from repro.utils.rng import as_rng
@@ -91,6 +91,7 @@ class SimulatedEvolution:
         workload: Workload,
         observers: Sequence[Observer] = (),
         initial: Optional[ScheduleString] = None,
+        exchange: Optional[IncumbentSource] = None,
     ) -> SEResult:
         """Optimise *workload*; see class docstring.
 
@@ -103,6 +104,13 @@ class SimulatedEvolution:
         initial:
             Optional starting string (copied); defaults to the paper's
             randomised initial solution (§4.2).
+        exchange:
+            Optional portfolio incumbent source (see
+            :mod:`repro.optim.exchange`).  A delivered incumbent
+            replaces the working string before the evaluation phase, so
+            goodness/selection run against it (one counted evaluation
+            to re-anchor); ``None`` leaves the run bit-identical to a
+            solo run.
         """
         cfg = self.config
         rng = as_rng(cfg.seed)
@@ -157,7 +165,18 @@ class SimulatedEvolution:
         current_cost = state0.makespan
 
         def step(iteration: int) -> StepOutcome[ScheduleString]:
-            nonlocal bias, current
+            nonlocal bias, current, current_cost, string
+            if exchange is not None:
+                inc = exchange.incoming(iteration, current_cost)
+                if inc is not None:
+                    # replace-if-better: evaluation/selection/allocation
+                    # run against the foreign incumbent this iteration
+                    string = ScheduleString(
+                        inc.order, inc.machines, workload.num_machines
+                    )
+                    st = service.prepare(string.order, string.machines)
+                    current = st.as_schedule()
+                    current_cost = st.makespan
             # Evaluation (paper §4.3): Ci = finish times of current string.
             g = goodness.goodness(current.finish)
 
@@ -173,6 +192,7 @@ class SimulatedEvolution:
             alloc = allocator.allocate(string, selected)
             service.count(alloc.trials)
             current = alloc.schedule
+            current_cost = alloc.makespan
             return StepOutcome(
                 # the backend's scalar: the makespan, or the weighted
                 # objective when one is configured
@@ -214,8 +234,9 @@ def run_se(
     config: Optional[SEConfig] = None,
     observers: Sequence[Observer] = (),
     initial: Optional[ScheduleString] = None,
+    exchange: Optional[IncumbentSource] = None,
 ) -> SEResult:
     """Functional convenience wrapper around :class:`SimulatedEvolution`."""
     return SimulatedEvolution(config).run(
-        workload, observers=observers, initial=initial
+        workload, observers=observers, initial=initial, exchange=exchange
     )

@@ -43,6 +43,7 @@ components, bit-identically to their pre-refactor behaviour
 
 from repro.optim.annealing import SAConfig, SimulatedAnnealing, run_sa
 from repro.optim.evaluation import EvaluationService
+from repro.optim.exchange import Incumbent, IncumbentSource
 from repro.optim.loop import LoopOutcome, SearchLoop, StepOutcome
 from repro.optim.neighborhood import (
     Move,
@@ -83,6 +84,8 @@ __all__ = [
     "STOP_TIME",
     "BestTracker",
     "EvaluationService",
+    "Incumbent",
+    "IncumbentSource",
     "MakespanObjective",
     "ObjectiveBackend",
     "ParetoPoint",

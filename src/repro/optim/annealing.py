@@ -38,6 +38,7 @@ from typing import Optional, Sequence
 
 from repro.model.workload import Workload
 from repro.optim.evaluation import EvaluationService
+from repro.optim.exchange import IncumbentSource
 from repro.optim.loop import SearchLoop, StepOutcome
 from repro.optim.objective import resolve_objective
 from repro.optim.neighborhood import (
@@ -190,6 +191,7 @@ class SimulatedAnnealing:
         observers: Sequence[Observer] = (),
         initial: Optional[ScheduleString] = None,
         service: Optional[EvaluationService] = None,
+        exchange: Optional[IncumbentSource] = None,
     ) -> SearchResult:
         """Optimise *workload*; see module docstring.
 
@@ -208,6 +210,11 @@ class SimulatedAnnealing:
             against non-idle machine state, so annealing improves the
             *residual* schedule; omitted, the engine builds its own from
             ``config.network`` exactly as before.
+        exchange:
+            Optional portfolio incumbent source (see
+            :mod:`repro.optim.exchange`).  A delivered incumbent
+            replaces the working solution (replace-if-better seeding);
+            ``None`` leaves the run bit-identical to a solo run.
         """
         cfg = self.config
         rng = as_rng(cfg.seed)
@@ -242,7 +249,18 @@ class SimulatedAnnealing:
         t_floor = t0 * cfg.min_temp_factor
 
         def step(iteration: int) -> StepOutcome[ScheduleString]:
-            nonlocal state, current_cost
+            nonlocal string, state, current_cost
+            if exchange is not None:
+                inc = exchange.incoming(iteration, current_cost)
+                if inc is not None:
+                    # replace-if-better: adopt the foreign incumbent and
+                    # re-anchor the delta state on it (one counted
+                    # evaluation, like any accepted move)
+                    string = ScheduleString(
+                        inc.order, inc.machines, workload.num_machines
+                    )
+                    state = service.prepare(string.order, string.machines)
+                    current_cost = state.makespan
             level = (iteration - 1) // cfg.steps_per_temp
             temp = max(t_floor, t0 * cfg.cooling**level)
 
@@ -305,8 +323,13 @@ def run_sa(
     observers: Sequence[Observer] = (),
     initial: Optional[ScheduleString] = None,
     service: Optional[EvaluationService] = None,
+    exchange: Optional[IncumbentSource] = None,
 ) -> SearchResult:
     """Functional convenience wrapper around :class:`SimulatedAnnealing`."""
     return SimulatedAnnealing(config).run(
-        workload, observers=observers, initial=initial, service=service
+        workload,
+        observers=observers,
+        initial=initial,
+        service=service,
+        exchange=exchange,
     )

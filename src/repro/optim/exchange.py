@@ -1,0 +1,66 @@
+"""The incumbent-exchange contract between engines and a portfolio.
+
+A portfolio run (see :mod:`repro.portfolio`) races several engines on
+one problem and lets them trade their best-so-far solutions mid-run.
+The *optim core* side of that contract is deliberately tiny:
+
+* an :class:`Incumbent` — an immutable ``(version, cost, order,
+  machines, source)`` snapshot of some engine's best string;
+* the :class:`IncumbentSource` protocol — one ``incoming(iteration,
+  current_cost)`` method an engine polls at the top of each step.
+
+Every engine's ``run`` accepts an optional ``exchange`` implementing
+the protocol.  The injection semantics per engine:
+
+* **SE / SA / tabu** (single-solution engines): *replace-if-better* —
+  the working string is replaced by the incumbent and re-anchored
+  (one counted evaluation), exactly as if the engine had found it.
+* **GA** (population engine): *elite immigration* — the incumbent is
+  decoded into a chromosome, evaluated, and replaces the worst member
+  of the current population.
+
+Determinism contract: ``exchange=None`` (the default) changes nothing —
+no RNG draws, no evaluations, bit-identical trajectories (pinned by the
+golden tests).  With an exchange attached, polling consumes no RNG
+either; only an actually *delivered* incumbent perturbs the trajectory,
+so a run is reproducible whenever the delivery schedule is (see the
+``sync_every`` lockstep mode in :mod:`repro.portfolio.exchange`).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Protocol, Tuple, runtime_checkable
+
+
+class Incumbent(NamedTuple):
+    """One published best-so-far solution.
+
+    ``version`` is a monotonically increasing stamp assigned by the
+    channel (not the publisher), so receivers can skip already-seen
+    payloads with a single comparison.  ``source`` is the publishing
+    island's id; islands never re-import their own publications.
+    """
+
+    version: int
+    cost: float
+    order: Tuple[int, ...]
+    machines: Tuple[int, ...]
+    source: int
+
+
+@runtime_checkable
+class IncumbentSource(Protocol):
+    """What an engine polls for foreign incumbents.
+
+    ``incoming`` is called at the top of every engine step with the
+    1-based iteration number and the engine's current working cost; it
+    returns an :class:`Incumbent` strictly better than ``current_cost``
+    or ``None``.  Implementations throttle the underlying channel
+    traffic internally (see
+    :class:`repro.portfolio.exchange.IncumbentExchange`), so engines
+    call it unconditionally.
+    """
+
+    def incoming(
+        self, iteration: int, current_cost: float
+    ) -> Optional[Incumbent]: ...

@@ -45,6 +45,7 @@ from typing import Optional, Sequence
 
 from repro.model.workload import Workload
 from repro.optim.evaluation import EvaluationService
+from repro.optim.exchange import IncumbentSource
 from repro.optim.loop import SearchLoop, StepOutcome
 from repro.optim.neighborhood import applied_copy, random_move
 from repro.optim.objective import resolve_objective
@@ -159,6 +160,7 @@ class TabuSearch:
         observers: Sequence[Observer] = (),
         initial: Optional[ScheduleString] = None,
         service: Optional[EvaluationService] = None,
+        exchange: Optional[IncumbentSource] = None,
     ) -> SearchResult:
         """Optimise *workload*; see module docstring.
 
@@ -177,6 +179,12 @@ class TabuSearch:
             against non-idle machine state, so the search optimises the
             *residual* schedule; omitted, the engine builds its own from
             ``config.network`` exactly as before.
+        exchange:
+            Optional portfolio incumbent source (see
+            :mod:`repro.optim.exchange`).  A delivered incumbent
+            replaces the working solution and is re-scored (one counted
+            evaluation); the tabu tenures persist across the switch.
+            ``None`` leaves the run bit-identical to a solo run.
         """
         cfg = self.config
         rng = as_rng(cfg.seed)
@@ -213,6 +221,15 @@ class TabuSearch:
 
         def step(iteration: int) -> StepOutcome[ScheduleString]:
             nonlocal string, current_cost
+            if exchange is not None:
+                inc = exchange.incoming(iteration, current_cost)
+                if inc is not None:
+                    # replace-if-better: the next neighborhood samples
+                    # around the foreign incumbent instead
+                    string = ScheduleString(
+                        inc.order, inc.machines, workload.num_machines
+                    )
+                    current_cost = service.string_makespan(string)
             # no-op candidates would cost exactly the incumbent and
             # outrank every worsening move at a local optimum, so the
             # neighborhood samples identity-free moves only
@@ -277,8 +294,13 @@ def run_tabu(
     observers: Sequence[Observer] = (),
     initial: Optional[ScheduleString] = None,
     service: Optional[EvaluationService] = None,
+    exchange: Optional[IncumbentSource] = None,
 ) -> SearchResult:
     """Functional convenience wrapper around :class:`TabuSearch`."""
     return TabuSearch(config).run(
-        workload, observers=observers, initial=initial, service=service
+        workload,
+        observers=observers,
+        initial=initial,
+        service=service,
+        exchange=exchange,
     )

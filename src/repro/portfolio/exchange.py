@@ -1,0 +1,317 @@
+"""Incumbent channels: how racing islands trade best-so-far strings.
+
+A *channel* is a single-slot mailbox holding the globally best
+:class:`~repro.optim.exchange.Incumbent` published so far, stamped with
+a monotonically increasing version.  Three implementations share one
+duck-typed surface (``publish`` / ``peek`` / ``checkpoint`` / ``leave``
+/ ``best``):
+
+* :class:`LocalChannel` — a plain in-process mailbox behind a
+  ``threading.Lock``; the thread-mode driver and the injection tests
+  use it (tests pre-load it with a foreign incumbent).
+* :class:`SharedChannel` — the cross-process mailbox: a
+  ``multiprocessing.Manager`` dict whose single key holds the whole
+  incumbent tuple, so a publish is one atomic proxy assignment under a
+  manager lock and a poll is one proxy read (one IPC round-trip,
+  ~0.1 ms — the reason :class:`IncumbentExchange` throttles polling).
+* :class:`SyncChannel` — the deterministic ``--sync-every`` mode:
+  islands run in threads and rendezvous at fixed own-iteration
+  boundaries.  Publications buffer per island and are merged only when
+  their island reaches a rendezvous (or leaves for good), lowest cost
+  first with island id as the tie-break — so delivery depends only on
+  iteration numbers, never on thread timing, and a fixed seed
+  reproduces every exchange bit for bit.
+
+On top of any channel sits one :class:`IncumbentExchange` per island —
+simultaneously an :class:`~repro.optim.observers.Observer` (the publish
+side: it watches the engine's trace records and pushes every new global
+best) and the engine's :class:`~repro.optim.exchange.IncumbentSource`
+(the poll side, throttled to every ``interval``-th iteration).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+from repro.analysis.trace import IterationRecord
+from repro.optim.exchange import Incumbent
+
+#: Pseudo island id used when a test or harness seeds a channel by hand.
+EXTERNAL_SOURCE = -1
+
+
+class LocalChannel:
+    """In-process single-slot mailbox (thread-safe, no rendezvous)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inc: Optional[Incumbent] = None
+
+    def publish(
+        self,
+        island: int,
+        cost: float,
+        order: Sequence[int],
+        machines: Sequence[int],
+    ) -> bool:
+        """Install a new incumbent if *cost* strictly improves the slot."""
+        with self._lock:
+            cur = self._inc
+            if cur is not None and cost >= cur.cost:
+                return False
+            version = 1 if cur is None else cur.version + 1
+            self._inc = Incumbent(
+                version, float(cost), tuple(order), tuple(machines), island
+            )
+            return True
+
+    def peek(self, last_version: int) -> Optional[Incumbent]:
+        """The current incumbent, or ``None`` if *last_version* saw it."""
+        inc = self._inc  # atomic reference read
+        if inc is None or inc.version <= last_version:
+            return None
+        return inc
+
+    def checkpoint(self, island: int) -> None:
+        """No-op (only the lockstep channel synchronises)."""
+
+    def leave(self, island: int) -> None:
+        """No-op (only the lockstep channel tracks parties)."""
+
+    def best(self) -> Optional[Incumbent]:
+        return self._inc
+
+
+class SharedChannel:
+    """Cross-process mailbox over a ``multiprocessing.Manager``.
+
+    The whole incumbent lives under one dict key, so readers pay exactly
+    one proxy round-trip and never observe a torn write; publishers
+    compare-and-set under the manager lock.  Both proxies pickle, so the
+    channel rides into workers as an ordinary submit argument.
+    """
+
+    _KEY = "incumbent"
+
+    def __init__(self, store, lock) -> None:
+        self._store = store
+        self._lock = lock
+
+    @classmethod
+    def create(cls, manager) -> "SharedChannel":
+        """Build over ``manager`` (a started ``multiprocessing.Manager``)."""
+        return cls(manager.dict(), manager.Lock())
+
+    def publish(
+        self,
+        island: int,
+        cost: float,
+        order: Sequence[int],
+        machines: Sequence[int],
+    ) -> bool:
+        with self._lock:
+            cur = self._store.get(self._KEY)
+            if cur is not None and cost >= cur[1]:
+                return False
+            version = 1 if cur is None else cur[0] + 1
+            self._store[self._KEY] = (
+                version,
+                float(cost),
+                tuple(order),
+                tuple(machines),
+                island,
+            )
+            return True
+
+    def peek(self, last_version: int) -> Optional[Incumbent]:
+        raw = self._store.get(self._KEY)  # one IPC round-trip
+        if raw is None or raw[0] <= last_version:
+            return None
+        return Incumbent(*raw)
+
+    def checkpoint(self, island: int) -> None:
+        """No-op (only the lockstep channel synchronises)."""
+
+    def leave(self, island: int) -> None:
+        """No-op (only the lockstep channel tracks parties)."""
+
+    def best(self) -> Optional[Incumbent]:
+        raw = self._store.get(self._KEY)
+        return None if raw is None else Incumbent(*raw)
+
+
+class SyncChannel:
+    """Deterministic lockstep mailbox for ``--sync-every`` runs.
+
+    Islands (threads) rendezvous every time their own iteration count
+    crosses the sync stride.  A *round* completes when every still-active
+    island has arrived; at that instant the pending publications of the
+    arrived (and permanently departed) islands merge into the slot —
+    lowest cost wins, ties broken by lowest island id — and everyone
+    proceeds.  An island that finishes its run calls :meth:`leave`,
+    flushing its buffered publications into the next merge and removing
+    itself from the quorum, so shorter runs never deadlock longer ones.
+
+    Because publications buffer per island until *that island's* next
+    rendezvous, a merge never observes a half-finished stretch of
+    another island's iterations: what every island sees at round *r* is
+    a pure function of iteration numbers and seeds.
+    """
+
+    def __init__(self, islands: int) -> None:
+        if islands < 1:
+            raise ValueError(f"islands must be >= 1, got {islands}")
+        self._cond = threading.Condition()
+        self._active = islands
+        self._arrived: set[int] = set()
+        self._gone: set[int] = set()
+        self._round = 0
+        self._pending: dict[int, tuple] = {}
+        self._inc: Optional[Incumbent] = None
+
+    def publish(
+        self,
+        island: int,
+        cost: float,
+        order: Sequence[int],
+        machines: Sequence[int],
+    ) -> bool:
+        with self._cond:
+            cur = self._pending.get(island)
+            if cur is not None and cost >= cur[0]:
+                return False
+            self._pending[island] = (
+                float(cost),
+                tuple(order),
+                tuple(machines),
+            )
+            return True
+
+    def _merge(self) -> None:
+        """Fold the ready islands' pending publications into the slot.
+
+        *Ready* means: arrived at this rendezvous, permanently departed,
+        or external (negative id, a hand-seeded incumbent).  Islands
+        still running keep their buffer — a merge must never observe a
+        half-finished stretch of someone else's iterations.
+        """
+        ready = [
+            i
+            for i in self._pending
+            if i in self._arrived or i in self._gone or i < 0
+        ]
+        for island in sorted(ready, key=lambda i: (self._pending[i][0], i)):
+            cost, order, machines = self._pending.pop(island)
+            if self._inc is None or cost < self._inc.cost:
+                version = 1 if self._inc is None else self._inc.version + 1
+                self._inc = Incumbent(version, cost, order, machines, island)
+        self._arrived.clear()
+        self._round += 1
+        self._cond.notify_all()
+
+    def checkpoint(self, island: int) -> None:
+        """Rendezvous: block until every active island arrives."""
+        with self._cond:
+            my_round = self._round
+            self._arrived.add(island)
+            if len(self._arrived) >= self._active:
+                self._merge()
+                return
+            while self._round == my_round:
+                self._cond.wait()
+
+    def leave(self, island: int) -> None:
+        """Depart for good; buffered publications join the next merge."""
+        with self._cond:
+            self._active -= 1
+            self._gone.add(island)
+            self._arrived.discard(island)
+            if self._active > 0 and len(self._arrived) >= self._active:
+                self._merge()
+            elif self._active <= 0:
+                self._merge()  # final flush: nobody is waiting
+
+    def best(self) -> Optional[Incumbent]:
+        with self._cond:
+            return self._inc
+
+    def peek(self, last_version: int) -> Optional[Incumbent]:
+        with self._cond:
+            inc = self._inc
+        if inc is None or inc.version <= last_version:
+            return None
+        return inc
+
+
+class IncumbentExchange:
+    """One island's endpoint: observer out, incumbent source in.
+
+    Attach the same object twice to an engine run — in ``observers``
+    (the publish side) and as ``exchange=`` (the poll side):
+
+    * As an **observer** it watches each
+      :class:`~repro.analysis.trace.IterationRecord`: when the record's
+      current solution *is* a new global best for this island (strictly
+      better than anything it has published), the schedule string goes
+      to the channel.
+    * As an **incumbent source** it polls the channel every
+      ``interval``-th engine iteration (between polls it costs two
+      integer ops), skipping its own publications and anything not
+      strictly better than the engine's current cost.  In sync mode the
+      poll is also the rendezvous point.
+
+    ``published`` / ``received`` count actual channel traffic for the
+    driver's per-island report.
+    """
+
+    def __init__(self, channel, island: int, interval: int = 10) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self._channel = channel
+        self.island = island
+        self.interval = interval
+        self._last_seen = 0
+        self._best_published = float("inf")
+        self.published = 0
+        self.received = 0
+
+    # -- publish side (Observer protocol) ------------------------------
+
+    def __call__(self, record: IterationRecord, string) -> None:
+        best = record.best_makespan
+        if (
+            best < self._best_published
+            and record.current_makespan == best
+        ):
+            # the record's payload string IS the new global best
+            self._best_published = best
+            if self._channel.publish(
+                self.island, best, tuple(string.order), tuple(string.machines)
+            ):
+                self.published += 1
+
+    # -- poll side (IncumbentSource protocol) --------------------------
+
+    def incoming(
+        self, iteration: int, current_cost: float
+    ) -> Optional[Incumbent]:
+        if iteration % self.interval != 0:
+            return None
+        self._channel.checkpoint(self.island)
+        inc = self._channel.peek(self._last_seen)
+        if inc is None:
+            return None
+        # mark seen either way: versions only grow, so a better future
+        # publication always carries a newer stamp
+        self._last_seen = inc.version
+        if inc.source == self.island or inc.cost >= current_cost:
+            return None
+        # adopting the incumbent means the island will not re-publish it
+        self._best_published = min(self._best_published, inc.cost)
+        self.received += 1
+        return inc
+
+    def finish(self) -> None:
+        """Tell the channel this island is done (must always be called)."""
+        self._channel.leave(self.island)

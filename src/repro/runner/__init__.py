@@ -38,6 +38,7 @@ from repro.runner.pool import (
     print_progress,
     run_cell,
     run_experiment,
+    warmup_worker,
     workers_from_env,
 )
 from repro.runner.registry import (
@@ -73,5 +74,6 @@ __all__ = [
     "resolve_algorithm",
     "run_cell",
     "run_experiment",
+    "warmup_worker",
     "workers_from_env",
 ]

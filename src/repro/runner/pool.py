@@ -185,6 +185,32 @@ def _load_cached(path: Path) -> Optional[CellResult]:
         return None
 
 
+def warmup_worker() -> bool:
+    """Per-process warmup of the compiled kernel tier (pool initializer).
+
+    When the jit tier is active, the first batch evaluation in a fresh
+    worker pays the one-off numba compile (seconds); a sweep with many
+    workers pays it once *per worker*, and a deadline-bound portfolio
+    race would burn its budget compiling.  Calling
+    :func:`repro.schedule.jit.warmup` in the pool initializer moves that
+    cost before any cell/island work starts.  On the NumPy/sequential
+    tiers (numba absent or ``REPRO_KERNEL=numpy``) this is a cheap
+    no-op returning False; an explicit-but-impossible ``REPRO_KERNEL=
+    jit`` without numba is left for the worker's first real evaluation
+    to report (an initializer exception would kill the whole pool with
+    a far worse message).
+    """
+    from repro.schedule import jit
+
+    try:
+        active = jit.jit_selected()
+    except ValueError:
+        return False
+    if not active:
+        return False
+    return jit.warmup()
+
+
 def _tmp_path(path: Path) -> Path:
     """A per-process scratch sibling of *path*.
 
@@ -202,8 +228,14 @@ def _store_cached(path: Path, result: CellResult) -> None:
         {"version": RESULT_SCHEMA_VERSION, "cell": result.to_dict()}
     )
     tmp = _tmp_path(path)
-    tmp.write_text(payload)
-    tmp.replace(path)  # atomic: a crash never leaves a torn cache entry
+    try:
+        tmp.write_text(payload)
+        tmp.replace(path)  # atomic: a crash never leaves a torn cache entry
+    except BaseException:
+        # a failed write/rename must not leak the pid-suffixed scratch
+        # file into the cache dir (resume scans would accumulate them)
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def run_experiment(
@@ -265,7 +297,9 @@ def run_experiment(
             finish(cell, run_cell(cell), cached=False)
     else:
         max_workers = min(workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=max_workers, initializer=warmup_worker
+        ) as pool:
             futures = {pool.submit(run_cell, cell): cell for cell in pending}
             remaining = set(futures)
             while remaining:

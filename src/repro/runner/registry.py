@@ -136,6 +136,12 @@ def _tabu_config() -> type:
     return TabuConfig
 
 
+def _race_config() -> type:
+    from repro.portfolio import RaceConfig
+
+    return RaceConfig
+
+
 # ----------------------------------------------------------------------
 # built-in entries
 # ----------------------------------------------------------------------
@@ -279,6 +285,46 @@ def _run_tabu(workload: Workload, seed: int, params: dict) -> CellOutcome:
         stopped_by=res.stopped_by,
         trace_rows=res.trace.to_rows(),
         extras={"best_string": _string_pairs(res.best_string)},
+    )
+
+
+@register_algorithm("portfolio", params=_config_fields(_race_config))
+def _run_portfolio(workload: Workload, seed: int, params: dict) -> CellOutcome:
+    """The anytime portfolio race as a sweep-able algorithm entry.
+
+    Runner cells already execute inside worker processes, so the entry
+    defaults to the GIL-sharing ``thread`` mode instead of nesting a
+    second process pool per cell; a spec can still pin ``mode=
+    "process"`` explicitly.
+    """
+    from repro.portfolio import RaceConfig, run_race
+
+    params = dict(params)
+    seed = _seed_of(seed, params)
+    params.setdefault("mode", "thread")
+    res = run_race(workload, RaceConfig(seed=seed, **params))
+    winner = res.islands[res.best_island]
+    return CellOutcome(
+        makespan=res.best_makespan,
+        evaluations=res.evaluations,
+        iterations=res.iterations,
+        stopped_by=winner.stopped_by,
+        extras={
+            "best_string": dict(res.best_string),
+            "best_island": res.best_island,
+            "best_kind": winner.kind,
+            "islands": [
+                {
+                    "island": o.island,
+                    "kind": o.kind,
+                    "best_makespan": o.best_makespan,
+                    "published": o.published,
+                    "received": o.received,
+                    "kernel_tier": o.kernel_tier,
+                }
+                for o in res.islands
+            ],
+        },
     )
 
 

@@ -1,0 +1,86 @@
+"""Unit tests for the anytime-curve analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import anytime_auc, anytime_table, best_at, first_time_to
+from repro.portfolio import RaceConfig, run_race
+from repro.workloads import small_workload
+
+EVENTS = [(0.5, 100.0), (1.0, 60.0), (3.0, 40.0)]
+
+
+class TestBestAt:
+    def test_inf_before_first_event(self):
+        assert best_at(EVENTS, 0.0) == math.inf
+
+    def test_steps_hold_between_events(self):
+        assert best_at(EVENTS, 0.5) == 100.0
+        assert best_at(EVENTS, 0.99) == 100.0
+        assert best_at(EVENTS, 1.0) == 60.0
+        assert best_at(EVENTS, 100.0) == 40.0
+
+    def test_empty_curve(self):
+        assert best_at([], 1.0) == math.inf
+
+
+class TestFirstTimeTo:
+    def test_first_crossing(self):
+        assert first_time_to(EVENTS, 100.0) == 0.5
+        assert first_time_to(EVENTS, 59.0) == 3.0
+
+    def test_unreached_target(self):
+        assert first_time_to(EVENTS, 39.9) is None
+        assert first_time_to([], 10.0) is None
+
+
+class TestAnytimeAuc:
+    def test_instant_curve_scores_one(self):
+        assert anytime_auc([(0.0, 50.0)], 2.0) == 1.0
+
+    def test_late_quality_scores_above_one(self):
+        # 100 for 1 s then 50 for 1 s: mean 75 over final 50
+        assert anytime_auc([(0.0, 100.0), (1.0, 50.0)], 2.0) == 1.5
+
+    def test_pre_first_event_stretch_uses_baseline(self):
+        # explicit baseline 200 for the first second, then 100, then 50
+        got = anytime_auc(
+            [(1.0, 100.0), (2.0, 50.0)], 3.0, baseline=200.0
+        )
+        assert got == pytest.approx((200 + 100 + 50) / 3 / 50)
+
+    def test_events_after_horizon_ignored(self):
+        got = anytime_auc([(0.0, 100.0), (5.0, 1.0)], 2.0)
+        assert got == 1.0  # flat at 100 across the whole horizon
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            anytime_auc([], 1.0)
+        with pytest.raises(ValueError, match="horizon"):
+            anytime_auc(EVENTS, 0.0)
+
+
+class TestAnytimeTable:
+    def test_table_shape(self):
+        res = run_race(
+            small_workload(seed=3),
+            RaceConfig(
+                engines=("se", "tabu"),
+                islands=2,
+                deadline=None,
+                max_iterations=4,
+                sync_every=2,
+                seed=1,
+            ),
+        )
+        table = anytime_table(res)
+        lines = table.splitlines()
+        assert "island" in lines[0] and "engine" in lines[0]
+        # one row per island plus header, two rules, and the race row
+        assert len(lines) == len(res.islands) + 4
+        assert lines[-1].lstrip().startswith("race")
+        # exactly one winner mark, on the winning island's row
+        marked = [ln for ln in lines if ln.endswith("*")]
+        assert len(marked) == 1
+        assert marked[0].lstrip().startswith(str(res.best_island))

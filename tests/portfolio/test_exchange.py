@@ -1,0 +1,248 @@
+"""Unit tests for the incumbent channels and the exchange endpoint."""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.trace import IterationRecord
+from repro.optim import Incumbent, IncumbentSource
+from repro.portfolio import (
+    EXTERNAL_SOURCE,
+    IncumbentExchange,
+    LocalChannel,
+    SharedChannel,
+    SyncChannel,
+)
+
+
+def string(order=(0, 1, 2), machines=(0, 1, 0)):
+    return SimpleNamespace(order=tuple(order), machines=tuple(machines))
+
+
+def record(iteration, current, best):
+    return IterationRecord(
+        iteration=iteration,
+        current_makespan=current,
+        best_makespan=best,
+        num_selected=None,
+        elapsed_seconds=0.0,
+        mean_goodness=None,
+        evaluations=iteration,
+    )
+
+
+class TestLocalChannel:
+    def test_empty_channel(self):
+        ch = LocalChannel()
+        assert ch.best() is None
+        assert ch.peek(0) is None
+
+    def test_publish_installs_versioned_incumbent(self):
+        ch = LocalChannel()
+        assert ch.publish(0, 10.0, (0, 1), (1, 0))
+        inc = ch.best()
+        assert inc == Incumbent(1, 10.0, (0, 1), (1, 0), 0)
+
+    def test_publish_requires_strict_improvement(self):
+        ch = LocalChannel()
+        ch.publish(0, 10.0, (0, 1), (1, 0))
+        assert not ch.publish(1, 10.0, (1, 0), (0, 1))  # tie loses
+        assert not ch.publish(1, 11.0, (1, 0), (0, 1))  # worse loses
+        assert ch.best().source == 0
+        assert ch.publish(1, 9.0, (1, 0), (0, 1))
+        assert ch.best() == Incumbent(2, 9.0, (1, 0), (0, 1), 1)
+
+    def test_peek_hides_already_seen_versions(self):
+        ch = LocalChannel()
+        ch.publish(0, 10.0, (0,), (0,))
+        inc = ch.peek(0)
+        assert inc.version == 1
+        assert ch.peek(inc.version) is None
+        ch.publish(1, 5.0, (0,), (1,))
+        assert ch.peek(inc.version).version == 2
+
+    def test_checkpoint_and_leave_are_noops(self):
+        ch = LocalChannel()
+        ch.checkpoint(0)
+        ch.leave(0)
+        assert ch.best() is None
+
+
+class TestSharedChannel:
+    """The CAS logic over plain stand-ins (the manager proxies only add
+    IPC; driver process-mode tests cover the real proxy path)."""
+
+    def make(self):
+        return SharedChannel({}, threading.Lock())
+
+    def test_publish_peek_roundtrip(self):
+        ch = self.make()
+        assert ch.publish(2, 7.5, (0, 1), (0, 0))
+        assert ch.best() == Incumbent(1, 7.5, (0, 1), (0, 0), 2)
+        assert ch.peek(0) == ch.best()
+        assert ch.peek(1) is None
+
+    def test_strict_improvement_cas(self):
+        ch = self.make()
+        ch.publish(0, 10.0, (0,), (0,))
+        assert not ch.publish(1, 10.0, (0,), (1,))
+        assert ch.publish(1, 1.0, (0,), (1,))
+        assert ch.best().version == 2
+        assert ch.best().source == 1
+
+
+class TestSyncChannel:
+    def test_needs_at_least_one_island(self):
+        with pytest.raises(ValueError, match="islands"):
+            SyncChannel(0)
+
+    def test_publication_invisible_until_rendezvous(self):
+        # island 1 publishes mid-stretch; island 0 leaves for good.  The
+        # merge must NOT consume island 1's buffer while it is still
+        # running — only its own checkpoint releases it.
+        ch = SyncChannel(2)
+        ch.publish(1, 5.0, (0,), (0,))
+        ch.leave(0)
+        assert ch.best() is None
+        ch.checkpoint(1)  # quorum of one: merges inline
+        assert ch.best() == Incumbent(1, 5.0, (0,), (0,), 1)
+
+    def test_merge_orders_by_cost_then_island(self):
+        ch = SyncChannel(2)
+        ch.publish(0, 5.0, (0,), (0,))
+        ch.publish(1, 5.0, (1,), (1,))  # cost tie: lowest island id wins
+        ch.leave(0)
+        ch.checkpoint(1)
+        best = ch.best()
+        assert (best.cost, best.source, best.version) == (5.0, 0, 1)
+
+    def test_merge_installs_only_global_improvements(self):
+        ch = SyncChannel(2)
+        ch.publish(0, 3.0, (0,), (0,))
+        ch.publish(1, 9.0, (1,), (1,))
+        ch.leave(0)
+        ch.checkpoint(1)
+        # island 1's 9.0 merged after 3.0 and must not bump the version
+        assert ch.best() == Incumbent(1, 3.0, (0,), (0,), 0)
+
+    def test_external_incumbent_joins_first_merge(self):
+        ch = SyncChannel(1)
+        ch.publish(EXTERNAL_SOURCE, 2.0, (0, 1), (1, 1))
+        ch.checkpoint(0)
+        assert ch.best().source == EXTERNAL_SOURCE
+
+    def test_pending_keeps_per_island_best(self):
+        ch = SyncChannel(1)
+        assert ch.publish(0, 9.0, (0,), (0,))
+        assert not ch.publish(0, 9.5, (1,), (1,))  # worse than own buffer
+        assert ch.publish(0, 4.0, (2,), (2,))
+        ch.checkpoint(0)
+        assert ch.best().cost == 4.0
+
+    def test_final_leave_flushes_everything(self):
+        ch = SyncChannel(2)
+        ch.publish(0, 8.0, (0,), (0,))
+        ch.publish(1, 6.0, (1,), (1,))
+        ch.leave(0)
+        ch.leave(1)  # nobody left waiting: final flush merges both
+        assert ch.best().cost == 6.0
+
+    def test_rendezvous_releases_waiting_threads(self):
+        ch = SyncChannel(2)
+        seen = []
+
+        def island(i):
+            ch.publish(i, float(10 - i), (i,), (i,))
+            ch.checkpoint(i)
+            seen.append(ch.peek(0))
+            ch.leave(i)
+
+        threads = [
+            threading.Thread(target=island, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        # after the round both islands see the merged global best (9.0)
+        assert [inc.cost for inc in seen] == [9.0, 9.0]
+
+
+class TestIncumbentExchange:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="interval"):
+            IncumbentExchange(LocalChannel(), 0, interval=0)
+
+    def test_satisfies_incumbent_source_protocol(self):
+        assert isinstance(
+            IncumbentExchange(LocalChannel(), 0), IncumbentSource
+        )
+
+    def test_publishes_only_new_global_bests(self):
+        ch = LocalChannel()
+        ex = IncumbentExchange(ch, island=0, interval=1)
+        ex(record(1, current=10.0, best=10.0), string())
+        assert (ex.published, ch.best().cost) == (1, 10.0)
+        # same best again: not a new global best, nothing published
+        ex(record(2, current=10.0, best=10.0), string())
+        assert ex.published == 1
+        # best improved but the *current* record is not the best holder
+        ex(record(3, current=12.0, best=9.0), string())
+        assert ex.published == 1
+        ex(record(4, current=8.0, best=8.0), string((1, 0, 2)))
+        assert (ex.published, ch.best().cost) == (2, 8.0)
+
+    def test_incoming_throttled_to_interval(self):
+        class Counting(LocalChannel):
+            polls = 0
+
+            def peek(self, last_version):
+                Counting.polls += 1
+                return super().peek(last_version)
+
+        ch = Counting()
+        ex = IncumbentExchange(ch, island=0, interval=5)
+        for it in range(1, 11):
+            ex.incoming(it, 100.0)
+        assert Counting.polls == 2  # iterations 5 and 10 only
+
+    def test_incoming_skips_own_and_non_improving(self):
+        ch = LocalChannel()
+        ex = IncumbentExchange(ch, island=0, interval=1)
+        ch.publish(0, 5.0, (0,), (0,))
+        assert ex.incoming(1, 100.0) is None  # own publication
+        ch.publish(1, 4.0, (1,), (1,))
+        assert ex.incoming(2, 4.0) is None  # not strictly better
+        assert ex.received == 0
+
+    def test_incoming_adopts_improving_foreign_incumbent(self):
+        ch = LocalChannel()
+        ex = IncumbentExchange(ch, island=0, interval=1)
+        ch.publish(EXTERNAL_SOURCE, 5.0, (1, 0), (0, 1))
+        inc = ex.incoming(1, 100.0)
+        assert inc == Incumbent(1, 5.0, (1, 0), (0, 1), EXTERNAL_SOURCE)
+        assert ex.received == 1
+        # the same version is never delivered twice
+        assert ex.incoming(2, 100.0) is None
+
+    def test_adopted_incumbent_is_not_republished(self):
+        ch = LocalChannel()
+        ex = IncumbentExchange(ch, island=0, interval=1)
+        ch.publish(EXTERNAL_SOURCE, 5.0, (1, 0), (0, 1))
+        assert ex.incoming(1, 100.0) is not None
+        # the engine now reports the adopted cost as its best: equal to
+        # what the channel holds, so publishing it back would be noise
+        ex(record(2, current=5.0, best=5.0), string((1, 0)))
+        assert ex.published == 0
+
+    def test_finish_leaves_channel(self):
+        calls = []
+
+        class Spy(LocalChannel):
+            def leave(self, island):
+                calls.append(island)
+
+        IncumbentExchange(Spy(), island=3).finish()
+        assert calls == [3]

@@ -1,0 +1,164 @@
+"""Bit-determinism of incumbent injection, pinned by committed goldens.
+
+Each cell pre-loads a :class:`LocalChannel` with a *known foreign
+incumbent* — the HEFT schedule of the same workload/backend — and runs
+one engine island against it with a fixed seed and a tight poll
+interval.  The engine must adopt the incumbent mid-run (``received >=
+1``) and finish on exactly the golden best string, makespan, iteration
+and evaluation counts — on both the ``contention-free`` and ``nic``
+backends.  Injection replaces the working solution without consuming
+RNG draws, so a fixed seed pins the whole trajectory.
+
+A second golden pins a full four-engine *lockstep* race
+(``sync_every``): every exchange in that mode is a pure function of
+seeds and iteration numbers, so everything but wall-clock time must
+reproduce bit for bit.
+
+Regenerate after an intentional engine/exchange change with::
+
+    PYTHONPATH=src python tests/portfolio/test_injection_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import heft
+from repro.portfolio import (
+    EXTERNAL_SOURCE,
+    LocalChannel,
+    RaceConfig,
+    build_islands,
+    run_island,
+    run_race,
+)
+from repro.workloads import small_workload
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_portfolio.json"
+
+NETWORKS = ("contention-free", "nic")
+
+#: (kind, iteration cap, poll interval) — SA iterations are single
+#: proposals, so its cap and stride are coarser than the sweep engines'.
+INJECTION_CELLS = (
+    ("se", 8, 1),
+    ("ga", 6, 2),
+    ("sa", 400, 50),
+    ("tabu", 8, 2),
+)
+
+SEED = 3
+
+LOCKSTEP_CFG = dict(
+    engines=("se", "ga", "sa", "tabu"),
+    islands=4,
+    deadline=None,
+    max_iterations=6,
+    sync_every=2,
+    seed=11,
+)
+
+
+def workload():
+    return small_workload(seed=3)
+
+
+def run_injection_cell(kind: str, network: str) -> dict:
+    w = workload()
+    cap, interval = next(
+        (cap, iv) for k, cap, iv in INJECTION_CELLS if k == kind
+    )
+    seeded = heft(w, network=network)
+    channel = LocalChannel()
+    channel.publish(
+        EXTERNAL_SOURCE,
+        seeded.makespan,
+        seeded.string.order,
+        seeded.string.machines,
+    )
+    (spec,) = build_islands(
+        (kind,), 1, SEED, None, cap, network, "uniform", interval=interval
+    )
+    out = run_island(spec, w, channel)
+    return {
+        "incumbent_cost": seeded.makespan,
+        "best_makespan": out.best_makespan,
+        "best_string": out.best_string,
+        "iterations": out.iterations,
+        "evaluations": out.evaluations,
+        "published": out.published,
+        "received": out.received,
+    }
+
+
+def run_lockstep_cell(network: str) -> dict:
+    res = run_race(workload(), RaceConfig(network=network, **LOCKSTEP_CFG))
+    return {
+        "best_makespan": res.best_makespan,
+        "best_island": res.best_island,
+        "best_kind": res.best_kind,
+        "best_string": res.best_string,
+        "islands": [
+            {
+                "kind": o.kind,
+                "best_makespan": o.best_makespan,
+                "iterations": o.iterations,
+                "evaluations": o.evaluations,
+                "published": o.published,
+                "received": o.received,
+                "anytime_costs": [cost for _, cost in o.anytime],
+            }
+            for o in res.islands
+        ],
+    }
+
+
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+@pytest.mark.parametrize("kind", [c[0] for c in INJECTION_CELLS])
+class TestInjectionBitDeterminism:
+    def test_matches_golden(self, kind, network):
+        g = golden()["injection"][f"{kind}|{network}"]
+        assert run_injection_cell(kind, network) == g
+
+    def test_golden_recorded_an_adoption(self, kind, network):
+        # the committed cells are only meaningful if the engine actually
+        # swallowed the foreign incumbent and never did worse than it
+        g = golden()["injection"][f"{kind}|{network}"]
+        assert g["received"] >= 1
+        assert g["best_makespan"] <= g["incumbent_cost"]
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+class TestLockstepRaceGolden:
+    def test_matches_golden(self, network):
+        assert run_lockstep_cell(network) == golden()["lockstep"][network]
+
+
+def generate() -> None:
+    doc = {
+        "injection": {
+            f"{kind}|{network}": run_injection_cell(kind, network)
+            for kind, _, _ in INJECTION_CELLS
+            for network in NETWORKS
+        },
+        "lockstep": {
+            network: run_lockstep_cell(network) for network in NETWORKS
+        },
+    }
+    GOLDEN_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    for key, cell in doc["injection"].items():
+        print(
+            f"  {key:<22} best {cell['best_makespan']:.2f} "
+            f"(incumbent {cell['incumbent_cost']:.2f}) "
+            f"recv {cell['received']}"
+        )
+
+
+if __name__ == "__main__":
+    generate()
